@@ -1,0 +1,152 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale (sizes below, printed with each result).  Problems and solutions
+are cached per pytest session so figures sharing the same runs (e.g.
+Figure 6 and Table I) do not recompute them; the per-benchmark timing
+therefore reflects the *first* computation of each run.
+
+Output is written through :func:`emit`, which bypasses pytest's capture
+so the regenerated tables appear in ``pytest benchmarks/`` output.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    GoogleGroupsConfig,
+    GridConfig,
+    RssConfig,
+    generate_google_groups,
+    generate_grid,
+    generate_rss,
+    multilevel_problem,
+    one_level_problem,
+)
+from repro.bench import format_series, format_table, run_algorithms
+from repro.workloads import VARIANTS, variant_name
+
+# ---------------------------------------------------------------------------
+# Scale: the paper uses 100k subscribers / 100 brokers (one level) and
+# 200 brokers (multi level).  The reproduction is shape-based; these
+# laptop-scale defaults keep the full benchmark suite to minutes.
+SUBSCRIBERS = int(os.environ.get("REPRO_BENCH_SUBSCRIBERS", 1500))
+BROKERS_ONE_LEVEL = int(os.environ.get("REPRO_BENCH_BROKERS", 16))
+BROKERS_MULTI = int(os.environ.get("REPRO_BENCH_BROKERS_MULTI", 32))
+MAX_OUT_DEGREE = 8
+SEED = 7
+
+#: Multi-level constraint settings (paper: tight D=0.2 with relaxed lbf,
+#: loose D=1.0 with tight lbf; lbf values adapted to this scale).
+TIGHT = {"max_delay": 0.2, "beta": 4.0, "beta_max": 5.0}
+LOOSE = {"max_delay": 1.0, "beta": 1.3, "beta_max": 1.5}
+
+_workloads: dict = {}
+_problems: dict = {}
+_runs: dict = {}
+
+
+def emit(text: str) -> None:
+    """Print benchmark output (capture is off via ``-s`` in addopts)."""
+    print(text, flush=True)
+
+
+def scale_banner(extra: str = "") -> str:
+    return (f"[scale: {SUBSCRIBERS} subscribers, "
+            f"{BROKERS_ONE_LEVEL} brokers one-level / "
+            f"{BROKERS_MULTI} multi-level{extra}]")
+
+
+def wl1(variant: tuple[str, str]):
+    """Workload set #1 instance for an (IS, BI) variant (cached)."""
+    key = ("wl1", variant)
+    if key not in _workloads:
+        config = GoogleGroupsConfig(
+            num_subscribers=SUBSCRIBERS, num_brokers=BROKERS_ONE_LEVEL,
+            interest_skew=variant[0], broad_interests=variant[1])
+        _workloads[key] = generate_google_groups(SEED, config)
+    return _workloads[key]
+
+
+def wl1_multi(variant: tuple[str, str]):
+    key = ("wl1m", variant)
+    if key not in _workloads:
+        config = GoogleGroupsConfig(
+            num_subscribers=SUBSCRIBERS, num_brokers=BROKERS_MULTI,
+            interest_skew=variant[0], broad_interests=variant[1])
+        _workloads[key] = generate_google_groups(SEED, config)
+    return _workloads[key]
+
+
+def wl2():
+    if "wl2" not in _workloads:
+        config = RssConfig(num_subscribers=SUBSCRIBERS,
+                           num_brokers=BROKERS_ONE_LEVEL)
+        _workloads["wl2"] = generate_rss(SEED, config)
+    return _workloads["wl2"]
+
+
+def wl3():
+    if "wl3" not in _workloads:
+        config = GridConfig(num_subscribers=SUBSCRIBERS,
+                            num_brokers=BROKERS_ONE_LEVEL)
+        _workloads["wl3"] = generate_grid(SEED, config)
+    return _workloads["wl3"]
+
+
+def one_level(variant: tuple[str, str], **overrides):
+    key = ("p1", variant, tuple(sorted(overrides.items())))
+    if key not in _problems:
+        _problems[key] = one_level_problem(wl1(variant), **overrides)
+    return _problems[key]
+
+
+def one_level_wl(workload_key: str, **overrides):
+    factory = {"wl2": wl2, "wl3": wl3}[workload_key]
+    key = ("p1w", workload_key, tuple(sorted(overrides.items())))
+    if key not in _problems:
+        _problems[key] = one_level_problem(factory(), **overrides)
+    return _problems[key]
+
+
+def multi_level(variant: tuple[str, str], setting: str):
+    params = TIGHT if setting == "tight" else LOOSE
+    key = ("pm", variant, setting)
+    if key not in _problems:
+        _problems[key] = multilevel_problem(
+            wl1_multi(variant), max_out_degree=MAX_OUT_DEGREE, seed=SEED,
+            **params)
+    return _problems[key]
+
+
+def runs_for(problem_key: str, problem, names, kwargs=None):
+    """Session-cached algorithm runs for one problem."""
+    results = {}
+    missing = []
+    for name in names:
+        cache_key = (problem_key, name)
+        if cache_key in _runs:
+            results[name] = _runs[cache_key]
+        else:
+            missing.append(name)
+    if missing:
+        for run in run_algorithms(problem, missing, kwargs=kwargs):
+            _runs[(problem_key, run.name)] = run
+            results[run.name] = run
+    return results
+
+
+SLP_KWARGS = {"SLP1": {"seed": 1}, "SLP": {"seed": 1}}
+
+__all__ = [
+    "VARIANTS", "variant_name", "SUBSCRIBERS", "BROKERS_ONE_LEVEL",
+    "BROKERS_MULTI", "TIGHT", "LOOSE", "SLP_KWARGS",
+    "emit", "scale_banner", "format_table", "format_series",
+    "wl1", "wl2", "wl3", "wl1_multi",
+    "one_level", "one_level_wl", "multi_level", "runs_for",
+]

@@ -1,0 +1,72 @@
+"""Ablation — greedy processing order, and the adversarial instance.
+
+Two parts:
+
+1. On workload set #1, compare Gr (arrival order), Gr* (fewest-candidates
+   first with re-sorting), and Gr on a random shuffle.
+2. On the clustered-shuffle adversarial instance, show Gr* losing to
+   SLP1 by a wide margin (the paper's argument for needing a principled
+   yardstick at all).
+"""
+
+import numpy as np
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+)
+from repro import generate_clustered_shuffle, one_level_problem, slp1
+from repro.core import offline_greedy, online_greedy
+from repro.metrics import evaluate_solution
+
+VARIANT = ("H", "H")
+
+
+def compute():
+    problem = one_level(VARIANT)
+    runs = runs_for(("fig6", VARIANT), problem, ["Gr", "Gr*"], SLP_KWARGS)
+    shuffled = online_greedy(
+        problem, order=np.random.default_rng(0).permutation(
+            problem.num_subscribers))
+    order_rows = [
+        ["Gr (arrival order)", runs["Gr"].report.bandwidth,
+         runs["Gr"].report.lbf],
+        ["Gr (random order)",
+         evaluate_solution("Gr", shuffled).bandwidth,
+         problem.load_balance_factor(shuffled.assignment)],
+        ["Gr* (fewest candidates first)", runs["Gr*"].report.bandwidth,
+         runs["Gr*"].report.lbf],
+    ]
+
+    workload = generate_clustered_shuffle(seed=5, num_clusters=6,
+                                          subscribers_per_cluster=30)
+    adversarial = one_level_problem(workload, alpha=1, max_delay=5.0,
+                                    beta=1.0, beta_max=1.0)
+    gr_star = evaluate_solution("Gr*", offline_greedy(adversarial))
+    slp_run = evaluate_solution("SLP1", slp1(adversarial, seed=2))
+    adversarial_rows = [
+        ["Gr*", gr_star.bandwidth],
+        ["SLP1", slp_run.bandwidth],
+        ["ratio Gr*/SLP1", gr_star.bandwidth / slp_run.bandwidth],
+    ]
+    return order_rows, adversarial_rows
+
+
+def test_ablation_ordering(benchmark):
+    order_rows, adversarial_rows = benchmark.pedantic(compute, rounds=1,
+                                                      iterations=1)
+    emit("\n== Ablation: greedy processing order (workload set #1, "
+         "IS:H BI:H) ==")
+    emit(scale_banner())
+    emit(format_table(["variant", "bandwidth", "lbf"], order_rows))
+
+    emit("\n== Adversarial instance: shuffled clusters, alpha=1, "
+         "hard caps ==")
+    emit(format_table(["algorithm", "bandwidth"], adversarial_rows[:2]))
+    emit(f"Gr* / SLP1 bandwidth ratio: {adversarial_rows[2][1]:.1f}x")
+
+    assert adversarial_rows[2][1] > 2.5

@@ -1,0 +1,52 @@
+"""Ablation — size of the load-balance sample Sb.
+
+The paper uses |Sb| = 10 |B| to make the LP's C3 constraint reflect the
+full population's load.  This bench sweeps the factor, showing that a
+tiny Sb yields filters whose coverage cannot be balanced (escalations /
+infeasibility), while a large Sb only adds LP size.
+"""
+
+from _shared import (
+    BROKERS_ONE_LEVEL,
+    SEED,
+    emit,
+    format_table,
+    scale_banner,
+)
+from repro import (
+    FilterAssignConfig,
+    GoogleGroupsConfig,
+    generate_google_groups,
+    one_level_problem,
+    slp1,
+)
+from repro.metrics import evaluate_solution
+
+SUBSCRIBERS = 800
+FACTORS = [2, 10, 30]
+
+
+def compute():
+    config = GoogleGroupsConfig(num_subscribers=SUBSCRIBERS,
+                                num_brokers=BROKERS_ONE_LEVEL,
+                                interest_skew="H", broad_interests="L")
+    problem = one_level_problem(generate_google_groups(SEED, config))
+    rows = []
+    for factor in FACTORS:
+        fa_config = FilterAssignConfig(sb_factor=factor)
+        solution = slp1(problem, seed=1, config=fa_config)
+        report = evaluate_solution(f"sb={factor}|B|", solution)
+        rows.append([f"{factor} x |B|", report.bandwidth, report.lbf,
+                     report.feasible, solution.info["achieved_beta"],
+                     solution.info["runtime_seconds"]])
+    return rows
+
+
+def test_ablation_sb_size(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(f"\n== Ablation: load-balance sample size |Sb| (m={SUBSCRIBERS}) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["sb_factor", "bandwidth", "lbf", "feasible", "achieved_beta",
+         "runtime_s"], rows))
+    assert all(row[1] > 0 for row in rows)

@@ -1,0 +1,62 @@
+"""Figure 6 — overall one-level comparison (workload set #1).
+
+The paper plots, per algorithm, a triangle of (total bandwidth, RMS
+delay, STDEV of broker loads) averaged over the four WL#1 variants.
+This bench regenerates those three coordinates for every algorithm.
+
+Expected shape (paper): SLP1 and Gr* minimize bandwidth within the
+delay/load constraints; Gr is worse on both bandwidth and balance;
+Gr¬l has absurd delays; Closest/Closest¬b/Balance have huge bandwidth.
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    VARIANTS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+    variant_name,
+)
+
+ALGOS = ["SLP1", "Gr", "Gr*", "Gr-no-latency", "Closest",
+         "Closest-no-balance", "Balance"]
+
+
+def compute():
+    per_algo = {name: [] for name in ALGOS}
+    for variant in VARIANTS:
+        problem = one_level(variant)
+        runs = runs_for(("fig6", variant), problem, ALGOS, SLP_KWARGS)
+        for name in ALGOS:
+            per_algo[name].append(runs[name].report)
+    rows = []
+    for name in ALGOS:
+        reports = per_algo[name]
+        rows.append([
+            name,
+            sum(r.bandwidth for r in reports) / 4,
+            sum(r.rms_delay for r in reports) / 4,
+            sum(r.load_stdev for r in reports) / 4,
+            sum(r.lbf for r in reports) / 4,
+            all(r.feasible for r in reports),
+        ])
+    return rows
+
+
+def test_fig06_overall_one_level(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 6: overall comparison, one-level network, "
+         "workload set #1 (averaged over 4 variants) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["algorithm", "bandwidth", "rms_delay", "load_stdev", "lbf",
+         "feasible"], rows))
+
+    by_name = {row[0]: row for row in rows}
+    # Paper shape assertions: event-space-blind algorithms waste bandwidth,
+    # the latency-blind greedy wrecks delay.
+    assert by_name["Closest"][1] > by_name["Gr*"][1]
+    assert by_name["Balance"][1] > by_name["Gr*"][1]
+    assert by_name["Gr-no-latency"][2] > by_name["Gr*"][2]

@@ -1,0 +1,42 @@
+"""Figure 7(a) — total bandwidth per WL#1 variant, all algorithms.
+
+Expected shape: SLP1 ~ Gr* (good), Gr consistently worse, event-space-
+blind algorithms (Closest, Closest¬b, Balance) worst, Gr¬l "too good to
+be true" (it ignores latency).
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    VARIANTS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+    variant_name,
+)
+
+ALGOS = ["SLP1", "Gr", "Gr*", "Gr-no-latency", "Closest",
+         "Closest-no-balance", "Balance"]
+
+
+def compute():
+    rows = []
+    for variant in VARIANTS:
+        problem = one_level(variant)
+        runs = runs_for(("fig6", variant), problem, ALGOS, SLP_KWARGS)
+        rows.append([variant_name(*variant)]
+                    + [runs[name].report.bandwidth for name in ALGOS])
+    return rows
+
+
+def test_fig07a_bandwidth(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 7(a): total bandwidth across workload set #1 ==")
+    emit(scale_banner())
+    emit(format_table(["workload"] + ALGOS, rows))
+
+    for row in rows:
+        by = dict(zip(ALGOS, row[1:]))
+        assert by["Closest"] > min(by["SLP1"], by["Gr*"])
+        assert by["Balance"] > min(by["SLP1"], by["Gr*"])

@@ -1,0 +1,61 @@
+"""Figure 7(b) — delay versus shortest-path distance, (IS:H, BI:H).
+
+The paper scatter-plots per-subscriber delay against the shortest-path
+latency for SLP1, Gr*, Gr¬l, and Closest¬b.  This bench prints the
+distribution per algorithm (deciles of delay) plus the fraction of
+subscribers violating the 0.3 bound.
+
+Expected shape: SLP1 and Gr* bound delay at 0.3; Closest¬b has the
+smallest delays; Gr¬l blows up — especially for subscribers near the
+publisher (small shortest-path distance, huge relative detour).
+"""
+
+import numpy as np
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+)
+from repro.metrics import delay_scatter
+
+VARIANT = ("H", "H")
+ALGOS = ["SLP1", "Gr*", "Gr-no-latency", "Closest-no-balance"]
+
+
+def compute():
+    problem = one_level(VARIANT)
+    runs = runs_for(("fig6", VARIANT), problem, ALGOS, SLP_KWARGS)
+    rows = []
+    near_violations = {}
+    for name in ALGOS:
+        scatter = delay_scatter(problem, runs[name].solution.assignment)
+        delays = scatter[:, 1]
+        deciles = np.percentile(delays, [50, 90, 99])
+        violation = float((delays > problem.params.max_delay + 1e-6).mean())
+        rows.append([name, float(delays.min()), *deciles.tolist(),
+                     float(delays.max()), violation])
+        near = scatter[:, 0] < np.percentile(scatter[:, 0], 25)
+        near_violations[name] = float(
+            (delays[near] > problem.params.max_delay + 1e-6).mean())
+    return rows, near_violations
+
+
+def test_fig07b_delay_scatter(benchmark):
+    rows, near = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 7(b): delay vs shortest-path distance, (IS:H, BI:H) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["algorithm", "min", "p50", "p90", "p99", "max", "viol>0.3"], rows))
+    emit(f"violations among nearest-quartile subscribers: "
+         + ", ".join(f"{k}={v:.2f}" for k, v in near.items()))
+
+    by = {row[0]: row for row in rows}
+    assert by["SLP1"][6] == 0.0
+    assert by["Gr*"][6] == 0.0
+    assert by["Gr-no-latency"][6] > 0.1
+    # Subscribers near the publisher are especially vulnerable under Gr¬l.
+    assert near["Gr-no-latency"] >= near["SLP1"]

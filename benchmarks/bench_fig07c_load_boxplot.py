@@ -1,0 +1,53 @@
+"""Figure 7(c) — broker-load boxplots per algorithm, (IS:H, BI:H).
+
+The paper shows five-number summaries of broker loads against the
+dashed beta / beta_max capacity lines.
+
+Expected shape: Balance best; Closest good (brokers track subscribers);
+Closest¬b can overload; SLP1/Gr* within the caps; Gr struggles.
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+)
+from repro.metrics import load_boxplot
+
+VARIANT = ("H", "H")
+ALGOS = ["SLP1", "Gr", "Gr*", "Gr-no-latency", "Closest",
+         "Closest-no-balance", "Balance"]
+
+
+def compute():
+    problem = one_level(VARIANT)
+    runs = runs_for(("fig6", VARIANT), problem, ALGOS, SLP_KWARGS)
+    rows = []
+    caps = None
+    for name in ALGOS:
+        stats = load_boxplot(problem, runs[name].solution.assignment)
+        caps = (stats.desired_cap, stats.maximum_cap)
+        rows.append([name, stats.minimum, stats.q1, stats.median,
+                     stats.q3, stats.maximum])
+    return rows, caps
+
+
+def test_fig07c_load_boxplot(benchmark):
+    rows, caps = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 7(c): broker load distribution, (IS:H, BI:H) ==")
+    emit(scale_banner())
+    emit(f"dashed lines: desired cap (beta) = {caps[0]:.0f}, "
+         f"maximum cap (beta_max) = {caps[1]:.0f}")
+    emit(format_table(["algorithm", "min", "q1", "median", "q3", "max"],
+                      rows))
+
+    by = {row[0]: row for row in rows}
+    # Balance has the least spread of all.
+    balance_spread = by["Balance"][5] - by["Balance"][1]
+    assert balance_spread <= by["Gr"][5] - by["Gr"][1]
+    # SLP1 and Gr* stay within the maximum cap.
+    assert by["SLP1"][5] <= caps[1] + 1e-6
+    assert by["Gr*"][5] <= caps[1] + 1e-6

@@ -1,0 +1,49 @@
+"""Figure 7(d) — CDF of broker loads, (IS:H, BI:H).
+
+The paper's point: Gr, despite best effort, leaves a chunk of brokers
+overloaded (more than 10% at their scale), while SLP1 and Gr* respect
+the caps.  This bench prints the load CDF at key fractions plus the
+overloaded-broker fraction per algorithm.
+"""
+
+import numpy as np
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+)
+from repro.metrics import load_cdf, overloaded_fraction
+
+VARIANT = ("H", "H")
+ALGOS = ["SLP1", "Gr", "Gr*", "Balance"]
+
+
+def compute():
+    problem = one_level(VARIANT)
+    runs = runs_for(("fig6", VARIANT), problem, ALGOS, SLP_KWARGS)
+    rows = []
+    for name in ALGOS:
+        cdf = load_cdf(problem, runs[name].solution.assignment)
+        loads = cdf[:, 0]
+        quartiles = np.percentile(loads, [10, 25, 50, 75, 90])
+        over = overloaded_fraction(problem, runs[name].solution.assignment)
+        rows.append([name, *quartiles.tolist(), over])
+    return rows
+
+
+def test_fig07d_load_cdf(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 7(d): broker load CDF, (IS:H, BI:H) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["algorithm", "p10", "p25", "p50", "p75", "p90",
+         "overloaded_fraction"], rows))
+
+    by = {row[0]: row for row in rows}
+    assert by["SLP1"][6] == 0.0
+    assert by["Gr*"][6] == 0.0
+    assert by["Balance"][6] == 0.0

@@ -1,0 +1,55 @@
+"""Figure 8 — overall comparison on a multi-level network, tight vs loose.
+
+The paper plots the same (bandwidth, RMS delay, load STDEV) triangles as
+Figure 6 for a multi-level broker tree under two constraint settings:
+tight latency with relaxed lbf, and loose latency with tight lbf.
+
+Expected shape: event-space-blind algorithms waste bandwidth, Gr¬l
+wrecks delay; under loose constraints Gr/Gr* are competitive with SLP;
+under tight constraints the greedy algorithms struggle with the load
+balance caps while SLP satisfies them.
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    multi_level,
+    runs_for,
+    scale_banner,
+)
+
+VARIANT = ("H", "L")
+ALGOS = ["SLP", "Gr", "Gr*", "Gr-no-latency", "Closest",
+         "Closest-no-balance", "Balance"]
+
+
+def compute():
+    tables = {}
+    for setting in ("tight", "loose"):
+        problem = multi_level(VARIANT, setting)
+        runs = runs_for(("fig8", VARIANT, setting), problem, ALGOS,
+                        SLP_KWARGS)
+        rows = []
+        for name in ALGOS:
+            report = runs[name].report
+            rows.append([name, report.bandwidth, report.rms_delay,
+                         report.load_stdev, report.lbf, report.feasible])
+        tables[setting] = rows
+    return tables
+
+
+def test_fig08_overall_multilevel(benchmark):
+    tables = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for setting, rows in tables.items():
+        emit(f"\n== Figure 8({'a' if setting == 'tight' else 'b'}): "
+             f"multi-level overall, {setting} latency setting ==")
+        emit(scale_banner())
+        emit(format_table(
+            ["algorithm", "bandwidth", "rms_delay", "load_stdev", "lbf",
+             "feasible"], rows))
+
+    for rows in tables.values():
+        by = {row[0]: row for row in rows}
+        assert by["Closest"][1] > by["SLP"][1] * 0.9
+        assert by["Gr-no-latency"][2] >= by["SLP"][2] * 0.2

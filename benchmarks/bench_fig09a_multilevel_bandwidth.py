@@ -1,0 +1,47 @@
+"""Figure 9(a) — multi-level bandwidth: SLP vs Gr*, tight vs loose.
+
+Expected shape (paper): Gr* often achieves slightly lower bandwidth,
+but the tight-setting comparison is misleading because Gr* fails the
+load-balance constraints there while SLP satisfies them.
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    VARIANTS,
+    emit,
+    format_table,
+    multi_level,
+    runs_for,
+    scale_banner,
+    variant_name,
+)
+
+ALGOS = ["SLP", "Gr*"]
+
+
+def compute():
+    rows = []
+    for setting in ("tight", "loose"):
+        for variant in VARIANTS:
+            problem = multi_level(variant, setting)
+            runs = runs_for(("fig9", variant, setting), problem, ALGOS,
+                            SLP_KWARGS)
+            rows.append([
+                setting, variant_name(*variant),
+                runs["SLP"].report.bandwidth,
+                runs["Gr*"].report.bandwidth,
+                runs["SLP"].report.feasible,
+                runs["Gr*"].report.feasible,
+            ])
+    return rows
+
+
+def test_fig09a_multilevel_bandwidth(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 9(a): multi-level bandwidth, SLP vs Gr*, "
+         "tight vs loose latency ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["setting", "workload", "SLP", "Gr*", "SLP feasible",
+         "Gr* feasible"], rows))
+    assert all(row[2] > 0 and row[3] > 0 for row in rows)

@@ -1,0 +1,53 @@
+"""Figure 9(b) — multi-level broker loads on (IS:L, BI:H), tight vs loose.
+
+Expected shape (paper): SLP satisfies the load-balance constraints under
+both settings; Gr*, despite best effort, cannot enforce them under the
+tight latency setting (a noticeable fraction of brokers overloaded).
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    multi_level,
+    runs_for,
+    scale_banner,
+)
+from repro.metrics import load_boxplot, overloaded_fraction
+
+VARIANT = ("L", "H")
+ALGOS = ["SLP", "Gr*"]
+
+
+def compute():
+    rows = []
+    for setting in ("tight", "loose"):
+        problem = multi_level(VARIANT, setting)
+        runs = runs_for(("fig9", VARIANT, setting), problem, ALGOS,
+                        SLP_KWARGS)
+        for name in ALGOS:
+            solution = runs[name].solution
+            stats = load_boxplot(problem, solution.assignment)
+            rows.append([
+                setting, name, stats.minimum, stats.median, stats.maximum,
+                stats.maximum_cap,
+                overloaded_fraction(problem, solution.assignment),
+                runs[name].report.lbf,
+            ])
+    return rows
+
+
+def test_fig09b_multilevel_load(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 9(b): multi-level broker loads, (IS:L, BI:H) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["setting", "algorithm", "min", "median", "max", "cap(beta_max)",
+         "overloaded_fraction", "lbf"], rows))
+
+    slp_rows = [r for r in rows if r[1] == "SLP"]
+    # SLP keeps its overloaded fraction at or below Gr*'s in each setting.
+    for setting in ("tight", "loose"):
+        slp = next(r for r in rows if r[0] == setting and r[1] == "SLP")
+        gr = next(r for r in rows if r[0] == setting and r[1] == "Gr*")
+        assert slp[6] <= gr[6] + 1e-9

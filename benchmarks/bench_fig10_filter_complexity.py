@@ -1,0 +1,45 @@
+"""Figure 10 — effect of filter complexity alpha on bandwidth.
+
+One-level network, (IS:H, BI:H), alpha swept 1..6 for SLP1, Gr, Gr*.
+
+Expected shape: bandwidth drops as alpha grows (multiple rectangles
+summarize subscriptions more precisely), with diminishing returns past
+alpha ~ 3; SLP1 is the most vulnerable at alpha = 1-2 because rounding
+can leave faraway rectangles that a single MEB must then swallow.
+"""
+
+from _shared import (
+    emit,
+    format_table,
+    one_level,
+    scale_banner,
+)
+from repro.bench import run_algorithms
+
+VARIANT = ("H", "H")
+ALPHAS = [1, 2, 3, 4, 5, 6]
+ALGOS = ["SLP1", "Gr", "Gr*"]
+
+
+def compute():
+    rows = []
+    for alpha in ALPHAS:
+        problem = one_level(VARIANT, alpha=alpha)
+        runs = {r.name: r for r in run_algorithms(
+            problem, ALGOS, kwargs={"SLP1": {"seed": 1}})}
+        rows.append([alpha] + [runs[name].report.bandwidth
+                               for name in ALGOS])
+    return rows
+
+
+def test_fig10_filter_complexity(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Figure 10: effect of filter complexity (one-level, "
+         "IS:H BI:H) ==")
+    emit(scale_banner())
+    emit(format_table(["alpha"] + ALGOS, rows))
+
+    # Larger alpha helps: alpha=6 beats alpha=1 for every algorithm.
+    first, last = rows[0], rows[-1]
+    for col in range(1, 4):
+        assert last[col] <= first[col] * 1.05, ALGOS[col - 1]

@@ -1,0 +1,47 @@
+""""Other Results" — the multi-level recursion threshold gamma.
+
+The technical-report version of the paper tunes a threshold ``gamma``
+for the multi-level algorithm; in this library ``gamma`` collapses the
+recursion for subscriber subsets of at most ``gamma`` members (one SLP1
+over the subtree's leaves instead of a per-level split).  This bench
+sweeps gamma and reports the quality/cost trade: large gamma behaves
+like flat SLP1 over all leaves (better-informed, slower per call),
+gamma = 0 is the pure top-down recursion.
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    multi_level,
+    scale_banner,
+)
+from repro import slp
+from repro.metrics import evaluate_solution
+
+VARIANT = ("H", "L")
+GAMMAS = [0, 200, 10_000_000]
+
+
+def compute():
+    problem = multi_level(VARIANT, "loose")
+    rows = []
+    for gamma in GAMMAS:
+        solution = slp(problem, seed=1, gamma=gamma)
+        report = evaluate_solution(f"gamma={gamma}", solution)
+        rows.append([gamma, report.bandwidth, report.lbf, report.feasible,
+                     solution.info["slp1_invocations"],
+                     solution.info["runtime_seconds"]])
+    return rows
+
+
+def test_other_gamma(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Other results: multi-level recursion threshold gamma ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["gamma", "bandwidth", "lbf", "feasible", "slp1_invocations",
+         "runtime_s"], rows))
+    # gamma = infinity collapses to a single leaf-level invocation.
+    assert rows[-1][4] == 1
+    assert all(row[1] > 0 for row in rows)

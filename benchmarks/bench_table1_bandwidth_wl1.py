@@ -1,0 +1,54 @@
+"""Table I — bandwidth comparison on workload set #1.
+
+Columns as in the paper: LP fractional solution (the yardstick lower
+bound produced by SLP1), SLP1, Gr*, Gr — one row per (IS, BI) variant.
+
+Expected shape: fractional < SLP1 ~ Gr* < Gr (SLP1 and Gr* within a
+small factor of the fractional bound; paper reports 1.3x-2.7x at 100k
+subscribers).
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    VARIANTS,
+    emit,
+    format_table,
+    one_level,
+    runs_for,
+    scale_banner,
+    variant_name,
+)
+
+ALGOS = ["SLP1", "Gr*", "Gr"]
+
+
+def compute():
+    rows = []
+    for variant in VARIANTS:
+        problem = one_level(variant)
+        runs = runs_for(("fig6", variant), problem, ALGOS, SLP_KWARGS)
+        fractional = runs["SLP1"].solution.fractional_bandwidth
+        rows.append([
+            variant_name(*variant),
+            fractional,
+            runs["SLP1"].report.bandwidth,
+            runs["Gr*"].report.bandwidth,
+            runs["Gr"].report.bandwidth,
+        ])
+    return rows
+
+
+def test_table1_bandwidth_wl1(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Table I: bandwidth comparison (workload set #1) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["workload", "fractional", "SLP1", "Gr*", "Gr"], rows))
+
+    for row in rows:
+        fractional = row[1]
+        if fractional is None:
+            continue
+        # The fractional solution lower-bounds every integral solution.
+        assert fractional <= row[2] * 1.001
+        assert fractional <= row[3] * 1.001

@@ -1,0 +1,47 @@
+"""Table II — bandwidth comparison on workload sets #2 and #3.
+
+Columns as in the paper: LP fractional, SLP1, Gr*, Gr¬l.
+
+Expected shape: on the (topic-based) RSS workload Gr* can even undercut
+the fractional bound computed on SLP1's candidate set; on the grid
+workload all constraint-respecting algorithms land close together;
+Gr¬l's number is meaningless as a yardstick (it ignores latency).
+"""
+
+from _shared import (
+    SLP_KWARGS,
+    emit,
+    format_table,
+    one_level_wl,
+    runs_for,
+    scale_banner,
+)
+
+ALGOS = ["SLP1", "Gr*", "Gr-no-latency"]
+
+
+def compute():
+    rows = []
+    for key, label in (("wl2", "#2 (RSS)"), ("wl3", "#3 (grid)")):
+        problem = one_level_wl(key)
+        runs = runs_for(("table2", key), problem, ALGOS, SLP_KWARGS)
+        fractional = runs["SLP1"].solution.fractional_bandwidth
+        rows.append([
+            label,
+            fractional,
+            runs["SLP1"].report.bandwidth,
+            runs["Gr*"].report.bandwidth,
+            runs["Gr-no-latency"].report.bandwidth,
+        ])
+    return rows
+
+
+def test_table2_bandwidth_wl23(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Table II: bandwidth comparison (workload sets #2 and #3) ==")
+    emit(scale_banner())
+    emit(format_table(
+        ["workload set", "fractional", "SLP1", "Gr*", "Gr-no-latency"],
+        rows))
+    for row in rows:
+        assert row[2] > 0 and row[3] > 0

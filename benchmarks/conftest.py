@@ -1,0 +1,11 @@
+"""Benchmark collection config: make the benchmarks directory importable.
+
+Output capture is disabled project-wide (``-s`` in addopts) so the
+regenerated paper tables/series print alongside pytest-benchmark's
+timing table.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,72 @@
+"""Multi-level dissemination with end-to-end event simulation.
+
+Run with::
+
+    python examples/multilevel_dissemination.py
+
+Builds a multi-level broker tree over a Google-Groups-style workload,
+assigns subscribers with the multi-level SLP algorithm, then *actually
+publishes events* through the tree with the dissemination simulator —
+verifying that no delivery is missed (the nesting condition at work) and
+that the measured per-broker traffic matches the analytic bandwidth
+``Q(T)`` the optimizer minimized.
+"""
+
+import numpy as np
+
+from repro import (
+    GoogleGroupsConfig,
+    UniformEvents,
+    evaluate_solution,
+    generate_google_groups,
+    multilevel_problem,
+    offline_greedy,
+    simulate_dissemination,
+    slp,
+    total_bandwidth,
+)
+
+
+def main() -> None:
+    config = GoogleGroupsConfig(num_subscribers=800, num_brokers=24,
+                                interest_skew="H", broad_interests="L")
+    workload = generate_google_groups(seed=9, config=config)
+    problem = multilevel_problem(workload, max_out_degree=6,
+                                 max_delay=0.5, beta=1.8, beta_max=2.2,
+                                 seed=3)
+    tree = problem.tree
+    print(f"tree: {tree.num_brokers} brokers, {tree.num_leaves} leaves, "
+          f"height {tree.height}")
+
+    for name, solution in (("SLP", slp(problem, seed=1)),
+                           ("Gr*", offline_greedy(problem))):
+        report = evaluate_solution(name, solution)
+        print(f"\n--- {name}: bandwidth={report.bandwidth:.0f} "
+              f"rms_delay={report.rms_delay:.3f} lbf={report.lbf:.2f} "
+              f"feasible={report.feasible}")
+
+        events = UniformEvents(workload.event_domain)
+        rng = np.random.default_rng(0)
+        result = simulate_dissemination(
+            tree, solution.filters, solution.assignment,
+            problem.subscriptions, events, rng, num_events=4000,
+            subscriber_points=problem.subscriber_points)
+
+        analytic = total_bandwidth(solution.filters)
+        empirical = result.empirical_bandwidth(
+            workload.event_domain.volume())
+        print(f"    published 4000 events: "
+              f"{result.total_broker_entries} broker entries, "
+              f"{int(result.deliveries.sum())} deliveries, "
+              f"{int(result.missed.sum())} missed")
+        print(f"    analytic Q(T)={analytic:.0f}  "
+              f"empirical={empirical:.0f}  "
+              f"ratio={empirical / analytic:.2f}")
+        assert result.missed.sum() == 0, "nesting violated!"
+
+    print("\nNo missed deliveries: every matching event reached its "
+          "subscriber through the filter hierarchy.")
+
+
+if __name__ == "__main__":
+    main()

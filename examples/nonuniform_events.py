@@ -1,0 +1,75 @@
+"""Non-uniform event distributions: hot spots change the optimal filters.
+
+Run with::
+
+    python examples/nonuniform_events.py
+
+The paper's bandwidth model extends from uniform events
+(``Q(B) = Vol(f)``) to an event density ``pi`` (``Q(B) = integral of pi
+over f``).  This example builds a grid workload, publishes events from a
+product-form density with a hot region, and shows that:
+
+* the analytic non-uniform measure matches empirical traffic from the
+  simulator, and
+* ranking assignments by uniform volume can disagree with ranking by
+  actual (hot-spot-weighted) traffic — why the measure matters.
+"""
+
+import numpy as np
+
+from repro import (
+    GridConfig,
+    PiecewiseUniformEvents,
+    UniformEvents,
+    generate_grid,
+    offline_greedy,
+    one_level_problem,
+    simulate_dissemination,
+    total_bandwidth,
+)
+
+
+def main() -> None:
+    config = GridConfig(num_subscribers=600, num_brokers=8)
+    workload = generate_grid(seed=5, config=config)
+    problem = one_level_problem(workload)
+    solution = offline_greedy(problem)
+
+    extent = workload.event_domain.hi[0]
+    # Hot spot: the lower-left quadrant carries 4x the event density.
+    hot = PiecewiseUniformEvents(
+        breakpoints=[np.array([0.0, extent / 2, extent])] * 2,
+        weights=[np.array([4.0, 1.0])] * 2,
+    )
+    uniform = UniformEvents(workload.event_domain)
+
+    uniform_q = total_bandwidth(solution.filters, uniform)
+    hot_q = total_bandwidth(solution.filters, hot)
+    print(f"assignment by Gr* — analytic Q(T):")
+    print(f"  uniform events : {uniform_q:10.1f}")
+    print(f"  hot-spot events: {hot_q:10.1f}")
+
+    rng = np.random.default_rng(0)
+    result = simulate_dissemination(
+        problem.tree, solution.filters, solution.assignment,
+        problem.subscriptions, hot, rng, num_events=8000)
+    empirical = result.empirical_bandwidth(workload.event_domain.volume())
+    print(f"  empirical (8000 hot-spot events): {empirical:10.1f}  "
+          f"ratio vs analytic {empirical / hot_q:.2f}")
+    assert result.missed.sum() == 0
+
+    # Per-broker: brokers whose filters overlap the hot quadrant carry
+    # disproportionate traffic relative to their volume.
+    from repro.metrics import broker_bandwidths
+    by_volume = broker_bandwidths(solution.filters, uniform)
+    by_mass = broker_bandwidths(solution.filters, hot)
+    print("\nper-broker measure (volume vs hot-spot mass):")
+    for node in sorted(by_volume):
+        if by_volume[node] > 0:
+            print(f"  broker {node:3d}: volume={by_volume[node]:9.1f} "
+                  f"mass={by_mass[node]:9.1f} "
+                  f"ratio={by_mass[node] / by_volume[node]:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Workload diagnostics: verifying the IS / BI axes and set differences.
+
+Run with::
+
+    python examples/workload_analysis.py
+
+The paper evaluates on three workload families with deliberately
+different structure; this example measures each family with the
+diagnostics in :mod:`repro.workloads.stats` and prints a comparison:
+
+* the four WL#1 variants separate cleanly along the IS (popularity skew)
+  and BI (broad-interest fraction) axes;
+* WL#1 has strong interest-location correlation (geographic communities),
+  while WL#3's interests are independent of location;
+* WL#2's topic-based subscriptions show heavy pairwise containment
+  (identical squares per topic).
+"""
+
+from repro import (
+    GoogleGroupsConfig,
+    GridConfig,
+    RssConfig,
+    generate_google_groups,
+    generate_grid,
+    generate_rss,
+)
+from repro.bench import format_table
+from repro.workloads import VARIANTS, variant_name
+from repro.workloads.stats import describe_workload
+
+SIZE = dict(num_subscribers=1500, num_brokers=12)
+COLUMNS = [
+    ("popularity_skew", "IS (zipf)"),
+    ("broad_interest_fraction", "BI (frac)"),
+    ("interest_location_correlation", "loc-corr"),
+    ("pair_intersect_fraction", "pair-isect"),
+    ("pair_containment_fraction", "pair-contain"),
+]
+
+
+def main() -> None:
+    rows = []
+    for variant in VARIANTS:
+        workload = generate_google_groups(seed=9, config=GoogleGroupsConfig(
+            interest_skew=variant[0], broad_interests=variant[1], **SIZE))
+        summary = describe_workload(workload)
+        rows.append([f"#1 {variant_name(*variant)}"]
+                    + [summary[key] for key, _label in COLUMNS])
+
+    for label, workload in (
+            ("#2 RSS", generate_rss(seed=9, config=RssConfig(**SIZE))),
+            ("#3 grid", generate_grid(seed=9, config=GridConfig(**SIZE)))):
+        summary = describe_workload(workload)
+        rows.append([label] + [summary[key] for key, _label in COLUMNS])
+
+    print(format_table(["workload"] + [label for _k, label in COLUMNS],
+                       rows,
+                       title="Workload diagnostics (see repro.workloads.stats)"))
+
+    print("\nReading guide:")
+    print(" - IS:H rows have higher popularity skew than IS:L rows;")
+    print(" - BI:H rows have ~5x the broad-interest fraction of BI:L;")
+    print(" - workload #1 couples interests with locations; #3 does not;")
+    print(" - workload #2's topic squares give heavy pairwise containment.")
+
+
+if __name__ == "__main__":
+    main()

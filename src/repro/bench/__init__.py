@@ -1,0 +1,14 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` scripts."""
+
+from .harness import AlgorithmRun, average_reports, run_algorithms
+from .tables import format_series, format_table, print_series, print_table
+
+__all__ = [
+    "AlgorithmRun",
+    "run_algorithms",
+    "average_reports",
+    "format_table",
+    "print_table",
+    "format_series",
+    "print_series",
+]

@@ -1,0 +1,68 @@
+"""The experiment harness: run (workload, algorithm) matrices, cache nothing.
+
+All benchmark scripts go through :func:`run_algorithms`, so every figure
+and table is produced the same way: build the problem, run each named
+algorithm, validate, and report the paper's metrics.  Sizes are set per
+benchmark (see ``benchmarks/conftest.py``) and printed with the results,
+because the reproduction is shape-based, not absolute-number-based.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ..core.problem import SAProblem
+from ..core.registry import get_algorithm
+from ..metrics.report import SolutionReport, evaluate_solution
+
+__all__ = ["AlgorithmRun", "run_algorithms", "average_reports"]
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One algorithm's solution and report on one problem."""
+
+    name: str
+    report: SolutionReport
+    solution: object  # SASolution; kept loose to avoid heavy repr in benches
+
+
+def run_algorithms(problem: SAProblem, names: Iterable[str],
+                   kwargs: Mapping[str, Mapping[str, object]] | None = None,
+                   ) -> list[AlgorithmRun]:
+    """Run the named algorithms on one problem and evaluate each solution.
+
+    ``kwargs`` optionally maps an algorithm name to extra keyword
+    arguments (e.g. ``{"SLP1": {"seed": 3}}``).
+    """
+    kwargs = kwargs or {}
+    runs = []
+    for name in names:
+        fn = get_algorithm(name)
+        started = time.perf_counter()
+        solution = fn(problem, **dict(kwargs.get(name, {})))
+        elapsed = time.perf_counter() - started
+        report = evaluate_solution(name, solution, runtime_seconds=elapsed)
+        runs.append(AlgorithmRun(name=name, report=report, solution=solution))
+    return runs
+
+
+def average_reports(reports: Iterable[SolutionReport]) -> dict[str, float]:
+    """Average the headline metrics of several reports (Figure 6 style).
+
+    The paper averages each algorithm's metrics over the four workload
+    set #1 variants before plotting the comparison triangles.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("no reports to average")
+    count = float(len(reports))
+    return {
+        "bandwidth": sum(r.bandwidth for r in reports) / count,
+        "rms_delay": sum(r.rms_delay for r in reports) / count,
+        "load_stdev": sum(r.load_stdev for r in reports) / count,
+        "lbf": sum(r.lbf for r in reports) / count,
+        "feasible_fraction": sum(1.0 for r in reports if r.feasible) / count,
+    }

@@ -1,0 +1,68 @@
+"""ASCII table and series rendering for the benchmark harness.
+
+Every benchmark regenerates a paper table or figure; these helpers print
+the same rows/series in a terminal-friendly layout so the output can be
+compared against the paper directly (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as a boxed monospace table."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i])
+                                 for i, c in enumerate(cells)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([separator, line(list(headers)), separator])
+    parts.extend(line(row) for row in rendered)
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def format_series(name: str, points: Iterable[tuple[object, object]]) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    lines = [f"series: {name}"]
+    lines.extend(f"  {_cell(x):>12s}  {_cell(y)}" for x, y in points)
+    return "\n".join(lines)
+
+
+def print_series(name: str, points: Iterable[tuple[object, object]]) -> None:
+    print()
+    print(format_series(name, points))

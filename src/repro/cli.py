@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run``
+    Generate a workload, run one or more algorithms, print the paper's
+    headline metrics per algorithm (and the LP fractional bound when an
+    SLP variant runs).
+
+``simulate``
+    Solve an instance, then publish sampled events through the broker
+    tree and report empirical traffic versus the analytic bandwidth.
+
+``dynamic``
+    Play a churn trace with online greedy arrivals and periodic SLP1
+    re-optimization; print the bandwidth trajectory.
+
+``algorithms``
+    List the registered algorithm names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from .bench.tables import format_table
+from .core.registry import algorithm_names, get_algorithm
+from .dynamic import DynamicPubSub, generate_churn_trace
+from .metrics import evaluate_solution, total_bandwidth
+from .pubsub import UniformEvents, simulate_dissemination
+from .workloads import (
+    GoogleGroupsConfig,
+    GridConfig,
+    RssConfig,
+    generate_google_groups,
+    generate_grid,
+    generate_rss,
+    multilevel_problem,
+    one_level_problem,
+)
+
+__all__ = ["main"]
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload == "googlegroups":
+        config = GoogleGroupsConfig(
+            num_subscribers=args.subscribers, num_brokers=args.brokers,
+            interest_skew=args.interest_skew,
+            broad_interests=args.broad_interests)
+        return generate_google_groups(args.seed, config)
+    if args.workload == "rss":
+        config = RssConfig(num_subscribers=args.subscribers,
+                           num_brokers=args.brokers)
+        return generate_rss(args.seed, config)
+    config = GridConfig(num_subscribers=args.subscribers,
+                        num_brokers=args.brokers)
+    return generate_grid(args.seed, config)
+
+
+def _build_problem(args: argparse.Namespace):
+    workload = _build_workload(args)
+    overrides = {"alpha": args.alpha, "max_delay": args.max_delay}
+    if args.beta is not None:
+        overrides["beta"] = args.beta
+    if args.beta_max is not None:
+        overrides["beta_max"] = args.beta_max
+    if args.multilevel:
+        return workload, multilevel_problem(
+            workload, max_out_degree=args.max_out_degree,
+            seed=args.seed, **overrides)
+    return workload, one_level_problem(workload, **overrides)
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=["googlegroups", "rss", "grid"],
+                        default="googlegroups")
+    parser.add_argument("--subscribers", type=int, default=1000)
+    parser.add_argument("--brokers", type=int, default=12)
+    parser.add_argument("--interest-skew", choices=["L", "H"], default="H")
+    parser.add_argument("--broad-interests", choices=["L", "H"], default="L")
+    parser.add_argument("--alpha", type=int, default=3)
+    parser.add_argument("--max-delay", type=float, default=0.3)
+    parser.add_argument("--beta", type=float, default=None,
+                        help="desired lbf (default: the workload set's)")
+    parser.add_argument("--beta-max", type=float, default=None)
+    parser.add_argument("--multilevel", action="store_true")
+    parser.add_argument("--max-out-degree", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    _workload, problem = _build_problem(args)
+    print(problem)
+    rows = []
+    for name in args.algorithms:
+        fn = get_algorithm(name)
+        kwargs = {"seed": args.seed} if name in ("SLP1", "SLP") else {}
+        solution = fn(problem, **kwargs)
+        report = evaluate_solution(name, solution)
+        rows.append([name, report.bandwidth,
+                     solution.fractional_bandwidth, report.rms_delay,
+                     report.lbf, report.feasible])
+    print(format_table(
+        ["algorithm", "bandwidth", "fractional", "rms_delay", "lbf",
+         "feasible"], rows))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload, problem = _build_problem(args)
+    fn = get_algorithm(args.algorithm)
+    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
+    solution = fn(problem, **kwargs)
+
+    events = UniformEvents(workload.event_domain)
+    rng = np.random.default_rng(args.seed)
+    result = simulate_dissemination(
+        problem.tree, solution.filters, solution.assignment,
+        problem.subscriptions, events, rng, num_events=args.events,
+        subscriber_points=problem.subscriber_points)
+    analytic = total_bandwidth(solution.filters)
+    empirical = result.empirical_bandwidth(workload.event_domain.volume())
+    print(format_table(
+        ["metric", "value"],
+        [["events published", result.num_events],
+         ["broker entries", result.total_broker_entries],
+         ["deliveries", int(result.deliveries.sum())],
+         ["missed deliveries", int(result.missed.sum())],
+         ["analytic Q(T)", analytic],
+         ["empirical Q(T)", empirical],
+         ["empirical / analytic", empirical / analytic if analytic else 0]]))
+    return 1 if result.missed.sum() else 0
+
+
+def _command_dynamic(args: argparse.Namespace) -> int:
+    _workload, problem = _build_problem(args)
+    trace = generate_churn_trace(
+        problem.num_subscribers, args.horizon,
+        np.random.default_rng(args.seed),
+        initial_active_fraction=args.initial_fraction,
+        arrival_rate=args.churn_rate, departure_rate=args.churn_rate)
+    system = DynamicPubSub(problem, seed=args.seed)
+    for j in np.flatnonzero(trace.initially_active):
+        system.arrive(int(j))
+
+    rows = []
+
+    def record(tag: str) -> None:
+        snap = system.snapshot()
+        rows.append([snap.step, tag, snap.active_count, snap.bandwidth,
+                     snap.lbf, snap.total_migrations])
+
+    record("initial")
+    for step in trace.steps:
+        system.apply(step)
+        if (step.step + 1) % args.reopt_every == 0:
+            record("drifted")
+            system.reoptimize("SLP1", seed=args.seed)
+            record("re-optimized")
+    record("final")
+    print(format_table(
+        ["step", "phase", "active", "bandwidth", "lbf", "migrations"],
+        rows))
+    return 0
+
+
+def _command_algorithms(_args: argparse.Namespace) -> int:
+    for name in algorithm_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subscriber assignment for wide-area content-based "
+                    "publish/subscribe (ICDE 2011 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run algorithms on a workload")
+    _add_instance_arguments(run)
+    run.add_argument("--algorithms", nargs="+", default=["SLP1", "Gr*"],
+                     choices=algorithm_names())
+    run.set_defaults(handler=_command_run)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="solve, then publish events through the tree")
+    _add_instance_arguments(simulate)
+    simulate.add_argument("--algorithm", default="Gr*",
+                          choices=algorithm_names())
+    simulate.add_argument("--events", type=int, default=4000)
+    simulate.set_defaults(handler=_command_simulate)
+
+    dynamic = subparsers.add_parser(
+        "dynamic", help="churn + periodic re-optimization")
+    _add_instance_arguments(dynamic)
+    dynamic.add_argument("--horizon", type=int, default=30)
+    dynamic.add_argument("--churn-rate", type=float, default=10.0)
+    dynamic.add_argument("--initial-fraction", type=float, default=0.4)
+    dynamic.add_argument("--reopt-every", type=int, default=15)
+    dynamic.set_defaults(handler=_command_dynamic)
+
+    algorithms = subparsers.add_parser("algorithms",
+                                       help="list algorithm names")
+    algorithms.set_defaults(handler=_command_algorithms)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Name-to-algorithm registry used by benches and examples.
+
+Every algorithm shares the signature ``fn(problem, **kwargs) -> SASolution``.
+Names follow the paper: Gr, Gr*, Gr-no-latency (Gr¬l), Closest,
+Closest-no-balance (Closest¬b), Balance, SLP1, SLP.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .baselines import balance_assignment, closest_broker
+from .greedy import offline_greedy, online_greedy
+from .problem import SAProblem, SASolution
+from .slp import slp, slp1
+
+__all__ = ["ALGORITHMS", "get_algorithm", "algorithm_names"]
+
+AlgorithmFn = Callable[..., SASolution]
+
+
+def _gr(problem: SAProblem, **kwargs) -> SASolution:
+    return online_greedy(problem, **kwargs)
+
+
+def _gr_no_latency(problem: SAProblem, **kwargs) -> SASolution:
+    return online_greedy(problem, respect_latency=False, **kwargs)
+
+
+def _gr_star(problem: SAProblem, **kwargs) -> SASolution:
+    return offline_greedy(problem, **kwargs)
+
+
+def _closest(problem: SAProblem, **kwargs) -> SASolution:
+    return closest_broker(problem, enforce_load_cap=True, **kwargs)
+
+
+def _closest_no_balance(problem: SAProblem, **kwargs) -> SASolution:
+    return closest_broker(problem, enforce_load_cap=False, **kwargs)
+
+
+ALGORITHMS: dict[str, AlgorithmFn] = {
+    "Gr": _gr,
+    "Gr*": _gr_star,
+    "Gr-no-latency": _gr_no_latency,
+    "Closest": _closest,
+    "Closest-no-balance": _closest_no_balance,
+    "Balance": balance_assignment,
+    "SLP1": slp1,
+    "SLP": slp,
+}
+
+
+def get_algorithm(name: str) -> AlgorithmFn:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def algorithm_names() -> list[str]:
+    return list(ALGORITHMS)

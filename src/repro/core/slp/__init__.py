@@ -1,0 +1,27 @@
+"""SLP: subscriber assignment by linear programming (paper Sections IV-V)."""
+
+from .assign_flow import AssignmentOutcome, assign_subscriptions
+from .adjust import adjust_filters
+from .filtergen import FilterGenConfig, generate_candidate_filters
+from .lp_relax import LPOutcome, lp_relax
+from .multilevel import slp
+from .sampling import FilterAssignConfig, FilterAssignResult, filter_assign
+from .slp1 import slp1
+from .view import SLPView, view_from_problem
+
+__all__ = [
+    "slp1",
+    "slp",
+    "SLPView",
+    "view_from_problem",
+    "FilterAssignConfig",
+    "FilterAssignResult",
+    "filter_assign",
+    "FilterGenConfig",
+    "generate_candidate_filters",
+    "LPOutcome",
+    "lp_relax",
+    "AssignmentOutcome",
+    "assign_subscriptions",
+    "adjust_filters",
+]

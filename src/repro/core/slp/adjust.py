@@ -1,0 +1,29 @@
+"""Filter adjustment (paper Section IV-C).
+
+Given the subscriber assignment, the preliminary filters are discarded in
+favour of tight final filters: for each broker, cluster its assigned
+subscriptions into at most ``alpha`` groups and take per-group MEBs.
+Minimizing the union volume exactly is NP-hard (Bilò et al.), so the
+paper — and this module — uses the clustering heuristic
+(:func:`repro.geometry.alpha_meb_cover`).
+
+For multi-level trees, interior filters are rebuilt bottom-up from the
+children's rectangles, which re-establishes the nesting condition by
+construction; that shared machinery lives in
+:func:`repro.core.problem.filters_from_assignment` and is re-used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pubsub.filters import Filter
+from ..problem import SAProblem, filters_from_assignment
+
+__all__ = ["adjust_filters"]
+
+
+def adjust_filters(problem: SAProblem, assignment: np.ndarray,
+                   rng: np.random.Generator) -> dict[int, Filter]:
+    """Final nested filters of complexity <= alpha for the whole tree."""
+    return filters_from_assignment(problem, assignment, rng)

@@ -1,0 +1,328 @@
+"""Subscription assignment given preliminary filters (paper Section IV-B).
+
+With the preliminary filters fixed, the paper assigns subscribers by
+max-flow over *coverage* edges (nesting + latency), escalating the
+load-balance factor from ``beta`` toward ``beta_max`` only as needed.
+
+A maximum flow is rarely unique, and the paper leaves the choice of flow
+algorithm open ("depending on the maximum flow algorithm employed...").
+Among all maximum flows we prefer a *locality-preserving* one: each
+subscriber is first seeded with the covering broker whose covering
+rectangle is tightest (smallest volume), under the ``beta`` capacity; the
+seed flow is then completed to a maximum flow with standard augmenting
+paths.  Augmentation only reshuffles the minimum necessary, so the final
+filters (rebuilt from the assignment by the adjustment step) stay tight.
+:func:`assign_subscriptions_maxflow` keeps the plain Dinic variant for
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ...flow.bipartite import assign_by_flow
+from ...geometry import RectSet
+from .view import SLPView
+
+__all__ = ["AssignmentOutcome", "assign_subscriptions",
+           "assign_subscriptions_maxflow"]
+
+
+@dataclass
+class AssignmentOutcome:
+    """Result of the flow-based assignment over a view."""
+
+    target_of: np.ndarray        #: (m_view,) target row per subscriber
+    achieved_beta: float
+    feasible: bool               #: routed everyone within beta_max caps
+    info: dict[str, Any]
+    #: subscribers max-flow could not route within beta_max (before the
+    #: best-effort completion); FilterAssign doubles their weights
+    unrouted_subscribers: np.ndarray | None = None
+
+
+def _coverage_costs(view: SLPView, filters: list[RectSet]) -> np.ndarray:
+    """(n_targets, m): volume of the tightest covering rect, inf if none."""
+    m = view.num_subscribers
+    cost = np.full((view.num_targets, m), np.inf)
+    for i, rects in enumerate(filters):
+        if len(rects) == 0:
+            continue
+        contains = rects.containment_matrix(view.subscriptions)   # (u, m)
+        volumes = rects.volumes()
+        masked = np.where(contains, volumes[:, None], np.inf)
+        cost[i] = np.where(view.feasible[i], masked.min(axis=0), np.inf)
+    return cost
+
+
+class _SlotState:
+    """Incremental <= alpha rectangle slots per target (flat, no tree).
+
+    The locality cost of adding a subscription to a target is the least
+    volume enlargement over the target's slots — the same R-tree rule the
+    greedy algorithms use, here restricted to the LP's coverage edges.
+    """
+
+    def __init__(self, num_targets: int, alpha: int, dim: int):
+        self.alpha = alpha
+        self.lo = np.full((num_targets, alpha, dim), np.inf)
+        self.hi = np.full((num_targets, alpha, dim), -np.inf)
+        self.count = np.zeros(num_targets, dtype=int)
+
+    def costs(self, targets: np.ndarray, rect_lo: np.ndarray,
+              rect_hi: np.ndarray) -> np.ndarray:
+        slot_lo = self.lo[targets]
+        slot_hi = self.hi[targets]
+        counts = self.count[targets]
+        k, alpha, _dim = slot_lo.shape
+        used = np.arange(alpha)[None, :] < counts[:, None]
+        grown_lo = np.minimum(slot_lo, rect_lo[None, None, :])
+        grown_hi = np.maximum(slot_hi, rect_hi[None, None, :])
+        old = np.where(used, np.prod(np.maximum(slot_hi - slot_lo, 0.0), axis=2), 0.0)
+        new = np.prod(grown_hi - grown_lo, axis=2)
+        enlargement = np.where(used, new - old, np.inf)
+        best = enlargement.min(axis=1)
+        rect_volume = float(np.prod(rect_hi - rect_lo))
+        open_cost = np.where(counts < alpha, rect_volume, np.inf)
+        return np.minimum(best, open_cost)
+
+    def commit(self, target: int, rect_lo: np.ndarray, rect_hi: np.ndarray) -> None:
+        n = int(self.count[target])
+        if n:
+            grown_lo = np.minimum(self.lo[target, :n], rect_lo)
+            grown_hi = np.maximum(self.hi[target, :n], rect_hi)
+            old = np.prod(np.maximum(self.hi[target, :n] - self.lo[target, :n], 0.0),
+                          axis=1)
+            enlargement = np.prod(grown_hi - grown_lo, axis=1) - old
+            slot = int(enlargement.argmin())
+            best = float(enlargement[slot])
+        else:
+            slot, best = -1, np.inf
+        if n < self.alpha and float(np.prod(rect_hi - rect_lo)) < best:
+            self.lo[target, n] = rect_lo
+            self.hi[target, n] = rect_hi
+            self.count[target] += 1
+        else:
+            self.lo[target, slot] = np.minimum(self.lo[target, slot], rect_lo)
+            self.hi[target, slot] = np.maximum(self.hi[target, slot], rect_hi)
+
+
+def _capacities(view: SLPView, betabar: float) -> np.ndarray:
+    return np.floor(betabar * view.kappas_effective
+                    * view.num_subscribers).astype(int)
+
+
+def _augment(j: int, coverers: list[np.ndarray], assigned: np.ndarray,
+             loads: np.ndarray, caps: np.ndarray,
+             subs_of: list[set[int]]) -> bool:
+    """Find an augmenting path for subscriber ``j`` and apply it.
+
+    BFS over targets: start from ``j``'s coverers; traverse by bumping an
+    already-assigned subscriber to another of its coverers; stop at any
+    target with spare capacity.  Returns False when no path exists (the
+    current flow is maximum for these capacities).
+    """
+    start_targets = coverers[j]
+    if len(start_targets) == 0:
+        return False
+    parent_edge: dict[int, tuple[int, int]] = {}  # target -> (prev_target, moved sub)
+    visited = set()
+    queue: deque[int] = deque()
+    for t in start_targets:
+        t = int(t)
+        visited.add(t)
+        queue.append(t)
+        parent_edge[t] = (-1, j)
+
+    end = -1
+    while queue:
+        t = queue.popleft()
+        if loads[t] < caps[t]:
+            end = t
+            break
+        for s in list(subs_of[t]):
+            for t2 in coverers[s]:
+                t2 = int(t2)
+                if t2 not in visited:
+                    visited.add(t2)
+                    parent_edge[t2] = (t, int(s))
+                    queue.append(t2)
+    if end < 0:
+        return False
+
+    # Walk back, shifting each moved subscriber one target forward.  The
+    # net load change lands entirely on the spare-capacity endpoint: every
+    # intermediate target loses one subscriber and gains one.
+    loads[end] += 1
+    t = end
+    while True:
+        prev, moved = parent_edge[t]
+        if prev == -1:
+            assigned[moved] = t
+            subs_of[t].add(moved)
+            break
+        subs_of[prev].discard(moved)
+        subs_of[t].add(moved)
+        assigned[moved] = t
+        t = prev
+    return True
+
+
+def assign_subscriptions(view: SLPView, filters: list[RectSet],
+                         escalation_step: float = 1.05) -> AssignmentOutcome:
+    """Locality-seeded maximum-flow assignment with lbf escalation."""
+    m = view.num_subscribers
+    cost = _coverage_costs(view, filters)
+    covered = np.isfinite(cost)
+
+    uncoverable = np.flatnonzero(~covered.any(axis=0))
+    for j in uncoverable:
+        # No covering target (possible after a fallback): offer every
+        # latency-feasible target, or any target as a last resort, at a
+        # cost that keeps these edges strictly last-choice.
+        feasible_targets = np.flatnonzero(view.feasible[:, j])
+        if len(feasible_targets) == 0:
+            feasible_targets = np.arange(view.num_targets)
+        cost[feasible_targets, j] = np.nanmax(
+            np.where(np.isfinite(cost), cost, np.nan)) + 1.0 \
+            if np.isfinite(cost).any() else 1.0
+        covered[feasible_targets, j] = True
+
+    coverers = [np.flatnonzero(covered[:, j]) for j in range(m)]
+
+    betabar = view.beta
+    caps = _capacities(view, betabar)
+    loads = np.zeros(view.num_targets, dtype=int)
+    assigned = np.full(m, -1, dtype=int)
+    subs_of: list[set[int]] = [set() for _ in range(view.num_targets)]
+
+    # Phase 1: assign each subscriber to the covering target with the
+    # least incremental filter enlargement (under spare beta capacity),
+    # fewest-options subscribers first — the locality-preserving choice
+    # among the maximum flows.  Ties break toward the tightest covering
+    # rect, then the least relative load.
+    state = _SlotState(view.num_targets, view.alpha, view.subscriptions.dim)
+    order = np.argsort([len(c) for c in coverers], kind="stable")
+    stranded: list[int] = []
+    for j in order:
+        options = coverers[j]
+        open_mask = loads[options] < caps[options]
+        if open_mask.any():
+            open_options = options[open_mask]
+            sub_lo = view.subscriptions.lo[j]
+            sub_hi = view.subscriptions.hi[j]
+            enlargement = state.costs(open_options, sub_lo, sub_hi)
+            ranked = np.lexsort((
+                loads[open_options] / np.maximum(
+                    view.kappas_effective[open_options], 1e-12),
+                cost[open_options, j],
+                enlargement))
+            pick = int(open_options[ranked[0]])
+            assigned[j] = pick
+            subs_of[pick].add(int(j))
+            loads[pick] += 1
+            state.commit(pick, sub_lo, sub_hi)
+        else:
+            stranded.append(int(j))
+
+    # Phase 2: complete to a maximum flow; escalate the lbf when stuck.
+    escalations = 0
+    remaining = stranded
+    while remaining:
+        still: list[int] = []
+        for j in remaining:
+            if not _augment(j, coverers, assigned, loads, caps, subs_of):
+                still.append(j)
+        if not still:
+            remaining = still
+            break
+        if betabar >= view.beta_max:
+            remaining = still
+            break
+        betabar = min(betabar * escalation_step, view.beta_max)
+        caps = _capacities(view, betabar)
+        escalations += 1
+        remaining = still
+
+    # Widening pass: coverage edges are a preference, not a hard
+    # constraint — the final filters are rebuilt from the assignment, so a
+    # latency-feasible non-covering target is valid (it merely costs
+    # bandwidth).  Let stranded subscribers use any latency-feasible
+    # target and augment once more at the current cap before giving up.
+    if remaining:
+        widened = []
+        for j in remaining:
+            extra = np.flatnonzero(view.feasible[:, j])
+            if len(extra):
+                coverers[j] = np.union1d(coverers[j], extra)
+            if not _augment(j, coverers, assigned, loads, caps, subs_of):
+                widened.append(j)
+        remaining = widened
+
+    # Best-effort completion for anyone max-flow could not route.
+    feasible = not remaining and len(uncoverable) == 0
+    unrouted = np.array(remaining, dtype=int)
+    for j in remaining:
+        options = coverers[j]
+        relative = loads[options] / np.maximum(
+            view.kappas_effective[options], 1e-12)
+        pick = int(options[relative.argmin()])
+        assigned[j] = pick
+        loads[pick] += 1
+
+    return AssignmentOutcome(
+        target_of=assigned,
+        achieved_beta=betabar,
+        feasible=feasible,
+        info={
+            "stranded_after_seed": len(stranded),
+            "unrouted": len(remaining),
+            "uncoverable": len(uncoverable),
+            "escalations": escalations,
+        },
+        unrouted_subscribers=unrouted,
+    )
+
+
+def assign_subscriptions_maxflow(view: SLPView, filters: list[RectSet],
+                                 escalation_step: float = 1.05) -> AssignmentOutcome:
+    """Plain Dinic max-flow assignment (ablation baseline; no locality)."""
+    coverage = view.coverage(filters)
+    candidates = [np.flatnonzero(coverage[:, j])
+                  for j in range(view.num_subscribers)]
+    uncoverable = [j for j, c in enumerate(candidates) if len(c) == 0]
+    for j in uncoverable:
+        feasible_targets = np.flatnonzero(view.feasible[:, j])
+        candidates[j] = (feasible_targets if len(feasible_targets)
+                         else np.arange(view.num_targets))
+
+    flow = assign_by_flow(candidates, view.kappas_effective, view.beta,
+                          view.beta_max, escalation_step=escalation_step)
+    target_of = flow.assignment.copy()
+    unrouted = np.flatnonzero(target_of < 0)
+    if len(unrouted):
+        loads = np.bincount(target_of[target_of >= 0],
+                            minlength=view.num_targets).astype(float)
+        for j in unrouted:
+            options = candidates[j]
+            relative = loads[options] / np.maximum(
+                view.kappas_effective[options], 1e-12)
+            pick = int(options[relative.argmin()])
+            target_of[j] = pick
+            loads[pick] += 1
+
+    return AssignmentOutcome(
+        target_of=target_of,
+        achieved_beta=flow.achieved_beta,
+        feasible=flow.feasible and not uncoverable,
+        info={
+            "stranded_after_seed": int(len(unrouted)),
+            "unrouted": int(len(unrouted)),
+            "uncoverable": len(uncoverable),
+            "escalations": 0,
+        },
+    )

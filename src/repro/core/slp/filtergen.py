@@ -1,0 +1,200 @@
+"""Candidate filter generation — FilterGen (paper Section IV-A.3).
+
+Enumerating every minimum enclosing box of a subscription subset would
+give ``Omega(m^{2d})`` candidate rectangles; FilterGen produces a small
+candidate set in two steps:
+
+1. *(optional)* replace the subscriptions with ``k = 5 |B|``
+   **super-subscriptions**: cluster the subscriptions in the joint
+   (network, event) space and take per-cluster MEBs, capturing the
+   geographic/topical concentration of interests;
+2. per event-space dimension, build a hierarchy of intervals of dyadic
+   lengths ``l_j = 2^j * delta`` such that every projection is contained
+   in some interval of its length class and no two intervals of a class
+   overlap by more than ``eta * l_j`` (``eta = 1/2``), then take the
+   cartesian product across dimensions.
+
+Each resulting rectangle is shrunk to the MEB of the subscriptions it
+contains, and empty rectangles are dropped.  The global MEB is always
+included so the downstream LP is feasible whenever the latency
+constraints admit any assignment at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...geometry import RectSet, cluster_rects_to_mebs
+
+__all__ = ["FilterGenConfig", "generate_candidate_filters"]
+
+
+class FilterGenConfig:
+    """Tuning knobs of FilterGen.
+
+    ``super_subscription_factor`` is the paper's ``k = 5 |B|``;
+    ``use_super_subscriptions=False`` skips step 1, which (Lemma 4) makes
+    the fractional LP bound tight up to a constant — at higher cost.
+    ``max_candidates`` is a practical safety cap on ``|R|``; when the
+    cartesian product exceeds it, the smallest-volume rectangles are kept.
+    """
+
+    def __init__(self, *, use_super_subscriptions: bool = True,
+                 super_subscription_factor: int = 5,
+                 eta: float = 0.5,
+                 max_length_classes: int = 24,
+                 max_candidates: int = 2000):
+        if not (0.5 <= eta < 1.0):
+            raise ValueError("eta must be in [1/2, 1)")
+        if super_subscription_factor < 1:
+            raise ValueError("super_subscription_factor must be positive")
+        self.use_super_subscriptions = use_super_subscriptions
+        self.super_subscription_factor = super_subscription_factor
+        self.eta = eta
+        self.max_length_classes = max_length_classes
+        self.max_candidates = max_candidates
+
+
+def _joint_features(subscriptions: RectSet,
+                    network_points: np.ndarray | None) -> np.ndarray:
+    """Normalized joint network/event coordinates for clustering."""
+    event_features = np.hstack([subscriptions.lo, subscriptions.hi])
+    parts = [event_features]
+    if network_points is not None:
+        parts.append(np.asarray(network_points, dtype=float))
+    features = np.hstack(parts)
+    # Scale each coordinate to unit spread so neither space dominates.
+    spread = features.max(axis=0) - features.min(axis=0)
+    spread[spread == 0] = 1.0
+    return (features - features.min(axis=0)) / spread
+
+
+def _interval_classes(lo: np.ndarray, hi: np.ndarray, eta: float,
+                      max_classes: int) -> list[tuple[float, float]]:
+    """Step 2 for one axis: the interval families ``J_i = union_j J_ij``.
+
+    ``lo``/``hi`` are the projections of the (super-)subscriptions onto
+    the axis.  Returns candidate intervals ``(a, b)``.
+    """
+    lengths = hi - lo
+    span_lo, span_hi = float(lo.min()), float(hi.max())
+    extent = span_hi - span_lo
+    if extent <= 0:
+        return [(span_lo, span_hi)]
+
+    smallest = float(lengths.min())
+    if smallest <= 0:
+        smallest = extent / (2 ** max_classes)
+    # Length classes l_j = 2^j * delta; the top class must admit the
+    # longest projection (class j holds intervals of length <= l_j / 2).
+    longest = max(float(lengths.max()), smallest)
+    num_classes = max(1, math.ceil(math.log2(2.0 * longest / smallest)) + 1)
+    num_classes = min(num_classes, max_classes)
+
+    intervals: list[tuple[float, float]] = []
+    order = np.argsort(lo, kind="stable")
+    for j in range(1, num_classes + 1):
+        length = (2.0 ** j) * smallest
+        in_class = lengths <= length / 2.0
+        if not in_class.any():
+            continue
+        members = order[in_class[order]]
+        member_lo = lo[members]
+        member_hi = hi[members]
+        index = 0
+        while index < len(members):
+            anchor = member_lo[index]
+            window_hi = anchor + length
+            # Sweep: skip left endpoints within (1 - eta) * length of the anchor.
+            cursor = index
+            while (cursor < len(members)
+                   and member_lo[cursor] < anchor + (1.0 - eta) * length):
+                cursor += 1
+            # Shrink to the tightest interval containing the same members.
+            inside = (member_lo >= anchor) & (member_hi <= window_hi)
+            if inside.any():
+                intervals.append((float(member_lo[inside].min()),
+                                  float(member_hi[inside].max())))
+            else:
+                intervals.append((float(anchor), float(window_hi)))
+            index = cursor
+    # Always offer the full axis span (feasibility fallback per dimension).
+    intervals.append((span_lo, span_hi))
+    return sorted(set(intervals))
+
+
+def generate_candidate_filters(subscriptions: RectSet,
+                               num_brokers: int,
+                               rng: np.random.Generator,
+                               config: FilterGenConfig | None = None,
+                               network_points: np.ndarray | None = None) -> RectSet:
+    """The candidate rectangle set ``R`` for LPRelax.
+
+    Parameters
+    ----------
+    subscriptions:
+        The subscriptions of the current sample ``Sa``.
+    num_brokers:
+        ``|B|`` for the current SLP1 invocation (sets ``k = 5 |B|``).
+    network_points:
+        Subscriber network coordinates aligned with ``subscriptions``,
+        enabling the joint-space clustering of step 1.
+    """
+    config = config or FilterGenConfig()
+    if len(subscriptions) == 0:
+        raise ValueError("cannot generate filters for zero subscriptions")
+
+    k = config.super_subscription_factor * max(num_brokers, 1)
+    if config.use_super_subscriptions and len(subscriptions) > k:
+        features = _joint_features(subscriptions, network_points)
+        super_subs, _labels = cluster_rects_to_mebs(subscriptions, k, rng,
+                                                    features=features)
+    else:
+        super_subs = subscriptions
+
+    dim = subscriptions.dim
+    axis_intervals = [
+        _interval_classes(super_subs.lo[:, axis], super_subs.hi[:, axis],
+                          config.eta, config.max_length_classes)
+        for axis in range(dim)
+    ]
+
+    # Cartesian product across dimensions.
+    product_size = 1
+    for ivs in axis_intervals:
+        product_size *= len(ivs)
+    lo_rows: list[np.ndarray] = []
+    hi_rows: list[np.ndarray] = []
+    for combo in np.ndindex(*[len(ivs) for ivs in axis_intervals]):
+        lo_rows.append(np.array([axis_intervals[a][combo[a]][0] for a in range(dim)]))
+        hi_rows.append(np.array([axis_intervals[a][combo[a]][1] for a in range(dim)]))
+    candidates = RectSet(np.vstack(lo_rows), np.vstack(hi_rows), validate=False)
+
+    # Keep only rectangles containing at least one (super-)subscription and
+    # shrink each to the MEB of what it contains.
+    containment = candidates.containment_matrix(super_subs)
+    useful = containment.any(axis=1)
+    if useful.any():
+        candidates = candidates.take(np.flatnonzero(useful))
+        candidates = candidates.shrink_to_contents(super_subs).dedupe()
+    else:
+        candidates = RectSet.empty(dim)
+
+    # The super-subscriptions themselves are excellent tight candidates,
+    # and the global MEB guarantees coverage feasibility.
+    global_meb = subscriptions.meb()
+    extras = RectSet(global_meb.lo[None, :], global_meb.hi[None, :], validate=False)
+    candidates = super_subs.concat(extras) if len(candidates) == 0 \
+        else candidates.concat(super_subs).concat(extras)
+    candidates = candidates.dedupe()
+
+    if len(candidates) > config.max_candidates:
+        # Prefer small rectangles (they are the cheap ones the LP wants),
+        # but never drop the global MEB (last row after dedupe ordering is
+        # not guaranteed, so re-append it).
+        volumes = candidates.volumes()
+        keep = np.argsort(volumes, kind="stable")[:config.max_candidates - 1]
+        candidates = candidates.take(np.sort(keep)).concat(extras).dedupe()
+    return candidates

@@ -1,0 +1,229 @@
+"""LP relaxation and randomized rounding — LPRelax (paper Section IV-A.1).
+
+The mixed integer program over Boolean ``x_ij`` (subscriber ``j`` served
+by broker ``i``) and ``y_ik`` (rectangle ``k`` in broker ``i``'s filter):
+
+    minimize    sum_{i,k} Vol(R_k) * y_ik
+    subject to  (C1) sum_k y_ik <= alpha                      for each broker i
+                (C2) sum_{i in B_j} x_ij >= 1                 for each j in Sa
+                (C3) sum_{j in Sb} x_ij <= beta kappa_i |Sb|  for each broker i
+                (C4) x_ij <= sum_{k in R_j} y_ik              for feasible (i, j)
+
+is relaxed to an LP (variables in ``[0, 1]``) and solved with HiGHS via
+``scipy.optimize.linprog`` on sparse matrices.  The fractional optimum is
+the *lower bound* the paper uses as its yardstick by-product.  The ``y``
+variables are then rounded: ``y_ik = 1`` with probability
+``1 - (1 - yhat)^{2 ln |Sa|}``, re-rounding until the sample ``Sa`` is
+covered (each attempt succeeds with probability >= 1/2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ...geometry import RectSet
+
+__all__ = ["LPOutcome", "lp_relax"]
+
+#: Rounding attempts before deterministically force-covering the sample.
+_MAX_ROUNDING_ATTEMPTS = 20
+
+
+@dataclass
+class LPOutcome:
+    """Result of one LPRelax call.
+
+    ``filters[i]`` is the preliminary rectangle set of broker ``i`` (its
+    complexity may exceed ``alpha``; the adjustment step fixes that).
+    ``fractional_objective`` is the LP lower bound with respect to the
+    sample and candidate set.
+    """
+
+    filters: list[RectSet]
+    fractional_objective: float
+    y_fractional: np.ndarray          #: (num_brokers, num_rects)
+    rounding_attempts: int
+    forced_rects: int                 #: rects switched on by the fallback
+
+
+def _coverage_possible(feasible: np.ndarray, contain: np.ndarray) -> np.ndarray:
+    """Mask over the sample: does any (broker, rect) pair cover subscriber j?"""
+    # feasible: (n, m); contain: (u, m).  j is coverable iff it has at least
+    # one feasible broker and one containing rectangle (any broker may take
+    # any rectangle, so the conditions separate).
+    return feasible.any(axis=0) & contain.any(axis=0)
+
+
+def lp_relax(sub_rects: RectSet,
+             feasible: np.ndarray,
+             sb_mask: np.ndarray,
+             rects: RectSet,
+             kappas: np.ndarray,
+             alpha: int,
+             beta: float,
+             rng: np.random.Generator) -> LPOutcome | None:
+    """Solve the relaxed filter-assignment LP and round the filters.
+
+    Parameters
+    ----------
+    sub_rects:
+        Subscriptions of the sample ``Sa`` (size ``m``).
+    feasible:
+        ``(num_brokers, m)`` — latency feasibility of (broker, subscriber).
+    sb_mask:
+        ``(m,)`` — which sample members belong to the load-balance subset
+        ``Sb`` (constraint C3 runs over these only).
+    rects:
+        Candidate rectangles ``R`` from FilterGen (size ``u``).
+    kappas:
+        Effective capacity fractions per broker (scaled by the caller for
+        multi-level sub-problems).
+    Returns ``None`` when the LP is infeasible.
+    """
+    num_brokers, m = feasible.shape
+    u = len(rects)
+    if m != len(sub_rects) or sb_mask.shape != (m,):
+        raise ValueError("inconsistent sample shapes")
+
+    contain = rects.containment_matrix(sub_rects)      # (u, m)
+    if not _coverage_possible(feasible, contain).all():
+        return None
+
+    volumes = rects.volumes()
+
+    # Variable layout: y variables first (broker-major), then x variables
+    # for each feasible (i, j) pair.
+    def y_var(i: int, k: int) -> int:
+        return i * u + k
+
+    num_y = num_brokers * u
+    pair_broker, pair_sub = np.nonzero(feasible)
+    num_x = len(pair_broker)
+    x_index = {(int(i), int(j)): num_y + t
+               for t, (i, j) in enumerate(zip(pair_broker, pair_sub))}
+
+    cost = np.zeros(num_y + num_x)
+    cost[:num_y] = np.tile(volumes, num_brokers)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b_ub: list[float] = []
+    row = 0
+
+    # (C1) filter complexity.
+    for i in range(num_brokers):
+        rows.extend([row] * u)
+        cols.extend(y_var(i, k) for k in range(u))
+        vals.extend([1.0] * u)
+        b_ub.append(float(alpha))
+        row += 1
+
+    # (C2) coverage, as -sum x <= -1.
+    for j in range(m):
+        brokers_j = np.flatnonzero(feasible[:, j])
+        rows.extend([row] * len(brokers_j))
+        cols.extend(x_index[(int(i), j)] for i in brokers_j)
+        vals.extend([-1.0] * len(brokers_j))
+        b_ub.append(-1.0)
+        row += 1
+
+    # (C3) load balance over Sb.
+    sb_count = int(sb_mask.sum())
+    if sb_count:
+        for i in range(num_brokers):
+            members = np.flatnonzero(feasible[i] & sb_mask)
+            if len(members) == 0:
+                continue
+            rows.extend([row] * len(members))
+            cols.extend(x_index[(i, int(j))] for j in members)
+            vals.extend([1.0] * len(members))
+            b_ub.append(beta * float(kappas[i]) * sb_count)
+            row += 1
+
+    # (C4) nesting: x_ij - sum_{k: sigma_j in R_k} y_ik <= 0.
+    rect_lists = [np.flatnonzero(contain[:, j]) for j in range(m)]
+    for t in range(num_x):
+        i = int(pair_broker[t])
+        j = int(pair_sub[t])
+        ks = rect_lists[j]
+        rows.append(row)
+        cols.append(num_y + t)
+        vals.append(1.0)
+        rows.extend([row] * len(ks))
+        cols.extend(y_var(i, int(k)) for k in ks)
+        vals.extend([-1.0] * len(ks))
+        b_ub.append(0.0)
+        row += 1
+
+    a_ub = sparse.coo_matrix((vals, (rows, cols)),
+                             shape=(row, num_y + num_x)).tocsr()
+    result = linprog(cost, A_ub=a_ub, b_ub=np.asarray(b_ub),
+                     bounds=(0.0, 1.0), method="highs")
+    if not result.success:
+        return None
+
+    y_hat = result.x[:num_y].reshape(num_brokers, u)
+    fractional = float(result.fun)
+
+    # Randomized rounding with the paper's amplification exponent.
+    exponent = max(2.0 * math.log(max(m, 2)), 1.0)
+    keep_probability = 1.0 - np.power(np.clip(1.0 - y_hat, 0.0, 1.0), exponent)
+
+    forced = 0
+    for attempt in range(1, _MAX_ROUNDING_ATTEMPTS + 1):
+        chosen = rng.random(y_hat.shape) < keep_probability
+        if _rounded_covers(chosen, feasible, contain):
+            return LPOutcome(
+                filters=[rects.take(np.flatnonzero(chosen[i]))
+                         for i in range(num_brokers)],
+                fractional_objective=fractional,
+                y_fractional=y_hat,
+                rounding_attempts=attempt,
+                forced_rects=0,
+            )
+
+    # Deterministic fallback: for each uncovered subscriber, switch on the
+    # (broker, rect) pair with the largest fractional support.
+    chosen = rng.random(y_hat.shape) < keep_probability
+    for j in range(m):
+        if _subscriber_covered(j, chosen, feasible, contain):
+            continue
+        brokers_j = np.flatnonzero(feasible[:, j])
+        ks = rect_lists[j]
+        support = y_hat[np.ix_(brokers_j, ks)]
+        best = np.unravel_index(int(support.argmax()), support.shape)
+        chosen[brokers_j[best[0]], ks[best[1]]] = True
+        forced += 1
+    return LPOutcome(
+        filters=[rects.take(np.flatnonzero(chosen[i]))
+                 for i in range(num_brokers)],
+        fractional_objective=fractional,
+        y_fractional=y_hat,
+        rounding_attempts=_MAX_ROUNDING_ATTEMPTS,
+        forced_rects=forced,
+    )
+
+
+def _rounded_covers(chosen: np.ndarray, feasible: np.ndarray,
+                    contain: np.ndarray) -> bool:
+    """Does the rounded filter assignment cover every sample subscriber?"""
+    # covered(i, j) = feasible(i, j) and exists k: chosen(i, k) and contain(k, j)
+    per_broker = chosen.astype(float) @ contain.astype(float)  # (n, m)
+    return bool(((per_broker > 0) & feasible).any(axis=0).all())
+
+
+def _subscriber_covered(j: int, chosen: np.ndarray, feasible: np.ndarray,
+                        contain: np.ndarray) -> bool:
+    brokers_j = np.flatnonzero(feasible[:, j])
+    if len(brokers_j) == 0:
+        return False
+    ks = np.flatnonzero(contain[:, j])
+    if len(ks) == 0:
+        return False
+    return bool(chosen[np.ix_(brokers_j, ks)].any())

@@ -1,0 +1,65 @@
+"""SLP1 — the one-level Subscriber-assignment-by-Linear-Programming
+algorithm (paper Section IV).
+
+Three steps, mirroring Figure 1 of the paper:
+
+1. **Preliminary filter assignment** (:mod:`.sampling`): LP relaxation +
+   randomized rounding over a coreset of subscriptions and a generated
+   candidate-filter set, iterated with reweighted sampling.
+2. **Subscription assignment** (:mod:`.assign_flow`): max-flow load
+   balancing over coverage edges, escalating the lbf only as needed.
+3. **Filter adjustment** (:mod:`.adjust`): tighten filters to at most
+   ``alpha`` MEB clusters of the actually-assigned subscriptions.
+
+The by-product ``fractional_bandwidth`` — the optimal LP fractional
+objective — is the paper's yardstick lower bound (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..problem import SAProblem, SASolution
+from .adjust import adjust_filters
+from .assign_flow import assign_subscriptions
+from .sampling import FilterAssignConfig, FilterAssignResult, filter_assign
+from .view import view_from_problem
+
+__all__ = ["slp1"]
+
+
+def slp1(problem: SAProblem, *, seed: int = 0,
+         config: FilterAssignConfig | None = None) -> SASolution:
+    """Run SLP1 on a (one-level) SA problem.
+
+    Also usable on a multi-level tree by treating every leaf as directly
+    assignable (path latencies through the real tree are respected), but
+    :func:`repro.core.slp.multilevel.slp` is the intended multi-level
+    driver.
+    """
+    started = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    view = view_from_problem(problem)
+
+    preliminary: FilterAssignResult = filter_assign(view, rng, config)
+    outcome = assign_subscriptions(view, preliminary.filters)
+
+    assignment = problem.tree.leaves[outcome.target_of]
+    filters = adjust_filters(problem, assignment, rng)
+
+    return SASolution(
+        problem=problem,
+        assignment=assignment,
+        filters=filters,
+        fractional_bandwidth=preliminary.fractional_objective,
+        info={
+            "algorithm": "SLP1",
+            "runtime_seconds": time.perf_counter() - started,
+            "achieved_beta": outcome.achieved_beta,
+            "flow_feasible": outcome.feasible,
+            "filter_assign": preliminary.info,
+            "assignment": outcome.info,
+        },
+    )

@@ -1,0 +1,86 @@
+"""The SLP1 invocation view: assignable targets plus a subscriber subset.
+
+SLP1 runs both at the leaf level of a one-level tree (targets = leaf
+brokers) and, in the multi-level algorithm, at every internal node
+(targets = the node's children, each standing for its whole subtree).
+:class:`SLPView` abstracts over the two so LPRelax, FilterAssign, and the
+max-flow assignment are written once.
+
+For multi-level invocations the capacity fractions are *effective*: a
+child subtree may absorb up to ``beta * kappa(subtree) * m_total``
+subscribers globally, so in a sub-problem over ``m_view`` subscribers its
+fraction is scaled by ``m_total / m_view`` (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...geometry import RectSet
+from ..problem import SAProblem
+
+__all__ = ["SLPView", "view_from_problem"]
+
+
+@dataclass
+class SLPView:
+    """Inputs of a single SLP1 run."""
+
+    subscriptions: RectSet          #: (m_view,) event-space boxes
+    network_points: np.ndarray      #: (m_view, d_net) subscriber locations
+    feasible: np.ndarray            #: (n_targets, m_view) latency feasibility
+    kappas_effective: np.ndarray    #: (n_targets,) scaled capacity fractions
+    alpha: int
+    beta: float
+    beta_max: float
+
+    def __post_init__(self) -> None:
+        m = len(self.subscriptions)
+        n = self.feasible.shape[0]
+        if self.feasible.shape != (n, m):
+            raise ValueError("feasible must be (n_targets, m_view)")
+        if self.network_points.shape[0] != m:
+            raise ValueError("one network point per subscriber required")
+        if self.kappas_effective.shape != (n,):
+            raise ValueError("one capacity fraction per target required")
+
+    @property
+    def num_targets(self) -> int:
+        return self.feasible.shape[0]
+
+    @property
+    def num_subscribers(self) -> int:
+        return len(self.subscriptions)
+
+    def coverage(self, filters: list[RectSet]) -> np.ndarray:
+        """``(n_targets, m_view)`` — target ``i`` covers subscriber ``j``.
+
+        Cover = latency feasibility AND the subscription is contained in
+        one of the target's filter rectangles (paper Section IV-A.1).
+        """
+        out = np.zeros_like(self.feasible)
+        for i, rects in enumerate(filters):
+            if len(rects) == 0:
+                continue
+            contained = rects.containment_matrix(self.subscriptions).any(axis=0)
+            out[i] = self.feasible[i] & contained
+        return out
+
+    def uncovered(self, filters: list[RectSet]) -> np.ndarray:
+        """Indices of subscribers not covered by any target — Violate(...)."""
+        return np.flatnonzero(~self.coverage(filters).any(axis=0))
+
+
+def view_from_problem(problem: SAProblem) -> SLPView:
+    """The leaf-level view of a (typically one-level) SA problem."""
+    return SLPView(
+        subscriptions=problem.subscriptions,
+        network_points=problem.subscriber_points,
+        feasible=problem.feasible_leaf.copy(),
+        kappas_effective=problem.kappas.copy(),
+        alpha=problem.params.alpha,
+        beta=problem.params.beta,
+        beta_max=problem.params.beta_max,
+    )

@@ -1,0 +1,19 @@
+"""Dynamic subscriber assignment: churn, online placement, re-optimization.
+
+Implements the paper's named future-work direction ("a principled
+approach ... for the dynamic version of the subscriber assignment
+problem, where subscriptions come and go") using the pieces the paper
+already provides: the online greedy rule for arrivals and periodic
+re-optimization with SLP1.
+"""
+
+from .churn import ChurnStep, ChurnTrace, generate_churn_trace
+from .manager import DynamicPubSub, DynamicSnapshot
+
+__all__ = [
+    "ChurnStep",
+    "ChurnTrace",
+    "generate_churn_trace",
+    "DynamicPubSub",
+    "DynamicSnapshot",
+]

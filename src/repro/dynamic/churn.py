@@ -1,0 +1,97 @@
+"""Subscription churn traces for the dynamic SA problem.
+
+The paper's conclusion names the *dynamic* version of subscriber
+assignment — "where subscriptions come and go" — as immediate future
+work, and positions SLP for "initial subscriber assignment [and]
+periodical re-optimization".  This module provides the workload side of
+that experiment: a churn trace over a fixed subscriber population.
+
+A trace is a sequence of steps; each step carries subscriber arrivals
+and departures drawn from Poisson processes.  Arrivals are sampled from
+the inactive part of the population (so their interests/locations follow
+the generating workload's distribution), departures uniformly from the
+active part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChurnStep", "ChurnTrace", "generate_churn_trace"]
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """One step of churn: who arrives and who departs."""
+
+    step: int
+    arrivals: np.ndarray     #: population indices becoming active
+    departures: np.ndarray   #: population indices becoming inactive
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A full churn schedule plus the initial active set."""
+
+    population_size: int
+    initially_active: np.ndarray   #: boolean mask over the population
+    steps: tuple[ChurnStep, ...] = field(default=())
+
+    @property
+    def horizon(self) -> int:
+        return len(self.steps)
+
+    def active_after(self, step_count: int) -> np.ndarray:
+        """Boolean active mask after applying the first ``step_count`` steps."""
+        active = self.initially_active.copy()
+        for step in self.steps[:step_count]:
+            active[step.arrivals] = True
+            active[step.departures] = False
+        return active
+
+
+def generate_churn_trace(population_size: int,
+                         horizon: int,
+                         rng: np.random.Generator,
+                         *,
+                         initial_active_fraction: float = 0.5,
+                         arrival_rate: float = 5.0,
+                         departure_rate: float = 5.0) -> ChurnTrace:
+    """A Poisson churn trace over a population of candidate subscribers.
+
+    ``arrival_rate`` / ``departure_rate`` are expected events per step;
+    equal rates keep the active count roughly stationary, unequal rates
+    model growth or decay.
+    """
+    if not (0.0 < initial_active_fraction <= 1.0):
+        raise ValueError("initial_active_fraction must be in (0, 1]")
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+
+    active = np.zeros(population_size, dtype=bool)
+    initial_count = max(1, int(round(initial_active_fraction * population_size)))
+    active[rng.choice(population_size, size=initial_count, replace=False)] = True
+    initially_active = active.copy()
+
+    steps = []
+    for step in range(horizon):
+        inactive_pool = np.flatnonzero(~active)
+        n_arrive = min(int(rng.poisson(arrival_rate)), len(inactive_pool))
+        arrivals = (rng.choice(inactive_pool, size=n_arrive, replace=False)
+                    if n_arrive else np.empty(0, dtype=int))
+        active[arrivals] = True
+
+        active_pool = np.flatnonzero(active)
+        n_depart = min(int(rng.poisson(departure_rate)), len(active_pool) - 1)
+        n_depart = max(n_depart, 0)
+        departures = (rng.choice(active_pool, size=n_depart, replace=False)
+                      if n_depart else np.empty(0, dtype=int))
+        active[departures] = False
+
+        steps.append(ChurnStep(step=step, arrivals=arrivals,
+                               departures=departures))
+    return ChurnTrace(population_size=population_size,
+                      initially_active=initially_active,
+                      steps=tuple(steps))

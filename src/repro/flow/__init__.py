@@ -1,0 +1,6 @@
+"""Max-flow substrate: Dinic's algorithm and bipartite assignment."""
+
+from .bipartite import FlowAssignment, assign_by_flow, min_feasible_lbf
+from .dinic import Dinic
+
+__all__ = ["Dinic", "FlowAssignment", "assign_by_flow", "min_feasible_lbf"]

@@ -1,0 +1,142 @@
+"""Subscriber-to-broker assignment as bipartite max-flow (paper Section IV-B).
+
+The graph is ``source -> brokers -> subscribers -> sink``:
+
+* ``source -> broker i`` with capacity ``floor(betabar * kappa_i * m)``;
+* ``broker i -> subscriber j`` (capacity 1) whenever broker ``i`` *covers*
+  subscriber ``j`` — the caller provides these cover edges;
+* ``subscriber j -> sink`` with capacity 1.
+
+``betabar`` starts at the desired load-balance factor ``beta`` and is
+escalated multiplicatively until either every subscriber routes or the cap
+``beta_max`` is hit.  The residual network is reused across escalations, so
+each step only augments the missing flow.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dinic import Dinic
+
+__all__ = ["FlowAssignment", "assign_by_flow", "min_feasible_lbf"]
+
+
+@dataclass(frozen=True)
+class FlowAssignment:
+    """Outcome of a flow-based assignment attempt.
+
+    ``assignment[j]`` is the broker index serving subscriber ``j`` (or -1
+    when ``j`` could not be routed).  ``achieved_beta`` is the escalated
+    ``betabar`` in force when the search stopped; ``feasible`` says whether
+    every subscriber was assigned.
+    """
+
+    assignment: np.ndarray
+    achieved_beta: float
+    flow: int
+    feasible: bool
+
+    @property
+    def unassigned(self) -> np.ndarray:
+        return np.flatnonzero(self.assignment < 0)
+
+
+def _broker_capacities(kappas: np.ndarray, total: int, betabar: float) -> list[int]:
+    return [int(math.floor(betabar * kappa * total)) for kappa in kappas]
+
+
+def assign_by_flow(candidates: Sequence[np.ndarray],
+                   kappas: np.ndarray,
+                   beta: float,
+                   beta_max: float,
+                   escalation_step: float = 1.05) -> FlowAssignment:
+    """Assign each subscriber to one of its candidate brokers.
+
+    Parameters
+    ----------
+    candidates:
+        ``candidates[j]`` lists the broker indices allowed to serve
+        subscriber ``j`` (cover + latency already checked by the caller).
+    kappas:
+        Capacity fractions per broker, summing to 1.
+    beta, beta_max:
+        Desired and maximum load-balance factors; the effective factor is
+        escalated from ``beta`` toward ``beta_max`` in multiplicative steps
+        until all subscribers route.
+    """
+    kappa_arr = np.asarray(kappas, dtype=float)
+    num_brokers = kappa_arr.shape[0]
+    num_subscribers = len(candidates)
+    if beta <= 0 or beta_max < beta:
+        raise ValueError("need 0 < beta <= beta_max")
+    if escalation_step <= 1.0:
+        raise ValueError("escalation_step must exceed 1")
+
+    source = 0
+    sink = 1 + num_brokers + num_subscribers
+    solver = Dinic(sink + 1)
+
+    def broker_node(i: int) -> int:
+        return 1 + i
+
+    def subscriber_node(j: int) -> int:
+        return 1 + num_brokers + j
+
+    betabar = beta
+    capacities = _broker_capacities(kappa_arr, num_subscribers, betabar)
+    source_edges = [solver.add_edge(source, broker_node(i), capacities[i])
+                    for i in range(num_brokers)]
+    cover_edges: list[tuple[int, int, int]] = []  # (edge_id, broker, subscriber)
+    for j, brokers in enumerate(candidates):
+        solver.add_edge(subscriber_node(j), sink, 1)
+        for i in np.asarray(brokers, dtype=int):
+            edge_id = solver.add_edge(broker_node(int(i)), subscriber_node(j), 1)
+            cover_edges.append((edge_id, int(i), j))
+
+    flow = solver.max_flow(source, sink)
+    while flow < num_subscribers and betabar < beta_max:
+        betabar = min(betabar * escalation_step, beta_max)
+        for i, edge_id in enumerate(source_edges):
+            solver.set_capacity(
+                edge_id, int(math.floor(betabar * kappa_arr[i] * num_subscribers)))
+        flow += solver.max_flow(source, sink)
+
+    assignment = np.full(num_subscribers, -1, dtype=int)
+    for edge_id, broker, subscriber in cover_edges:
+        if solver.edge_flow(edge_id) == 1:
+            assignment[subscriber] = broker
+    return FlowAssignment(assignment=assignment, achieved_beta=betabar,
+                          flow=flow, feasible=flow == num_subscribers)
+
+
+def min_feasible_lbf(candidates: Sequence[np.ndarray],
+                     kappas: np.ndarray,
+                     beta_hi: float = 64.0,
+                     tolerance: float = 1e-3) -> FlowAssignment:
+    """The smallest load-balance factor admitting a full assignment.
+
+    Used by the ``Balance`` baseline (Section VI): binary search on the
+    factor, with a fresh max-flow per probe.  Returns the assignment at the
+    smallest feasible factor found (``feasible=False`` if even ``beta_hi``
+    does not route everyone).
+    """
+    probe_hi = assign_by_flow(candidates, kappas, beta_hi, beta_hi)
+    if not probe_hi.feasible:
+        return probe_hi
+
+    lo, hi = 0.0, beta_hi
+    best = probe_hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        probe = assign_by_flow(candidates, kappas, mid, mid)
+        if probe.feasible:
+            best = probe
+            hi = mid
+        else:
+            lo = mid
+    return best

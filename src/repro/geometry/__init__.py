@@ -1,0 +1,28 @@
+"""Geometry substrate: boxes, measures, and clustering in event space."""
+
+from .clustering import alpha_meb_cover, cluster_rects_to_mebs, kmeans
+from .meb import meb_of_points, meb_of_rects, meb_of_subset
+from .rectangle import Rect, RectSet
+from .volume import (
+    coverage_fraction,
+    sum_volume,
+    union_measure,
+    union_volume,
+    union_volume_monte_carlo,
+)
+
+__all__ = [
+    "Rect",
+    "RectSet",
+    "meb_of_points",
+    "meb_of_rects",
+    "meb_of_subset",
+    "union_volume",
+    "union_measure",
+    "union_volume_monte_carlo",
+    "sum_volume",
+    "coverage_fraction",
+    "kmeans",
+    "cluster_rects_to_mebs",
+    "alpha_meb_cover",
+]

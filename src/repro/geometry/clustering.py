@@ -1,0 +1,164 @@
+"""Seeded k-means clustering and box-grouping heuristics.
+
+The paper uses clustering in two places:
+
+* **FilterGen step 1** — subscriptions are clustered in the joint
+  (network, event) space into ``k = 5 |B|`` clusters whose MEBs become
+  *super-subscriptions* (Section IV-A.3).
+* **Filter adjustment** — each broker's assigned subscriptions are grouped
+  into at most ``alpha`` clusters whose MEBs form the final filter
+  (Section IV-C; exactly minimizing the union volume is NP-hard per Bilò
+  et al., so a clustering heuristic is used).
+
+Everything here is deterministic given the caller's ``numpy`` generator;
+no global random state is touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .meb import meb_of_subset
+from .rectangle import RectSet
+
+__all__ = ["kmeans", "cluster_rects_to_mebs", "alpha_meb_cover"]
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = rng.integers(n)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with a chosen center.
+            centers[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centers[i] = points[choice]
+        dist_sq = np.sum((points - centers[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
+           max_iterations: int = 50) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Returns ``(labels, centers)`` where ``labels`` has shape ``(n,)`` with
+    values in ``[0, k)`` and every cluster is non-empty (empty clusters are
+    re-seeded on the farthest points).
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    n = pts.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, n)
+
+    centers = _kmeans_plus_plus(pts, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        # Assignment step (vectorized distance matrix).
+        distances = np.linalg.norm(pts[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = distances.argmin(axis=1)
+
+        # Re-seed empty clusters on the points farthest from their centers.
+        for cluster in range(k):
+            if not np.any(new_labels == cluster):
+                farthest = distances[np.arange(n), new_labels].argmax()
+                new_labels[farthest] = cluster
+                centers[cluster] = pts[farthest]
+
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = pts[labels == cluster]
+            if members.shape[0]:
+                centers[cluster] = members.mean(axis=0)
+    return labels, centers
+
+
+def cluster_rects_to_mebs(rects: RectSet, k: int, rng: np.random.Generator,
+                          features: np.ndarray | None = None) -> tuple[RectSet, np.ndarray]:
+    """Cluster boxes and return the per-cluster MEBs.
+
+    ``features`` overrides the clustering coordinates (FilterGen passes a
+    joint network/event embedding); by default the box corner coordinates
+    ``(lo, hi)`` are used, which keeps similarly-placed, similarly-sized
+    boxes together.
+
+    Returns ``(mebs, labels)``.  The MEB set has one box per non-empty
+    cluster; ``labels`` maps each input box to its row in ``mebs``.
+    """
+    if len(rects) == 0:
+        raise ValueError("cannot cluster an empty RectSet")
+    if features is None:
+        features = np.hstack([rects.lo, rects.hi])
+    labels, _ = kmeans(features, k, rng)
+
+    unique = np.unique(labels)
+    remap = {cluster: row for row, cluster in enumerate(unique)}
+    lo = np.empty((len(unique), rects.dim))
+    hi = np.empty((len(unique), rects.dim))
+    for cluster, row in remap.items():
+        mask = labels == cluster
+        lo[row] = rects.lo[mask].min(axis=0)
+        hi[row] = rects.hi[mask].max(axis=0)
+    mapped = np.array([remap[c] for c in labels], dtype=int)
+    return RectSet(lo, hi, validate=False), mapped
+
+
+def alpha_meb_cover(rects: RectSet, alpha: int, rng: np.random.Generator,
+                    refinement_passes: int = 2) -> RectSet:
+    """Cover the boxes with at most ``alpha`` MEBs of small total volume.
+
+    This is the paper's filter-adjustment heuristic: k-means the boxes into
+    ``alpha`` groups, take per-group MEBs, then run a few reassignment
+    passes moving each box to the group whose MEB it enlarges least.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if len(rects) == 0:
+        raise ValueError("cannot cover an empty RectSet")
+    if len(rects) <= alpha:
+        return rects
+
+    mebs, labels = cluster_rects_to_mebs(rects, alpha, rng)
+    groups = labels.copy()
+    group_count = len(mebs)
+
+    for _ in range(refinement_passes):
+        changed = False
+        # Current group MEBs.
+        group_lo = np.full((group_count, rects.dim), np.inf)
+        group_hi = np.full((group_count, rects.dim), -np.inf)
+        for g in range(group_count):
+            mask = groups == g
+            if mask.any():
+                group_lo[g] = rects.lo[mask].min(axis=0)
+                group_hi[g] = rects.hi[mask].max(axis=0)
+        for i in range(len(rects)):
+            # Enlargement of each group's MEB if box i joined it.
+            cand_lo = np.minimum(group_lo, rects.lo[i])
+            cand_hi = np.maximum(group_hi, rects.hi[i])
+            enlarged = np.prod(cand_hi - cand_lo, axis=1)
+            base = np.prod(np.maximum(group_hi - group_lo, 0.0), axis=1)
+            base[~np.isfinite(base)] = 0.0
+            cost = enlarged - base
+            best = int(cost.argmin())
+            if best != groups[i]:
+                groups[i] = best
+                changed = True
+        if not changed:
+            break
+
+    occupied = [g for g in range(group_count) if np.any(groups == g)]
+    covers = [meb_of_subset(rects, groups == g) for g in occupied]
+    return RectSet.from_rects(covers)

@@ -1,0 +1,30 @@
+"""Minimum enclosing boxes (MEBs) of points and boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rectangle import Rect, RectSet
+
+__all__ = ["meb_of_points", "meb_of_rects", "meb_of_subset"]
+
+
+def meb_of_points(points: np.ndarray) -> Rect:
+    """The smallest box containing every row of ``points`` (shape ``(n, d)``)."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    return Rect(pts.min(axis=0), pts.max(axis=0))
+
+
+def meb_of_rects(rects: RectSet) -> Rect:
+    """The smallest box containing every box of the set."""
+    return rects.meb()
+
+
+def meb_of_subset(rects: RectSet, mask: np.ndarray) -> Rect:
+    """MEB of the boxes selected by a boolean ``mask``."""
+    selector = np.asarray(mask, dtype=bool)
+    if not selector.any():
+        raise ValueError("mask selects no boxes")
+    return Rect(rects.lo[selector].min(axis=0), rects.hi[selector].max(axis=0))

@@ -1,0 +1,27 @@
+"""Solution quality metrics: bandwidth, delay, load balance, reports."""
+
+from .bandwidth import broker_bandwidths, total_bandwidth
+from .delay import delay_scatter, max_delay, rms_delay
+from .load import (
+    BoxplotStats,
+    load_boxplot,
+    load_cdf,
+    load_stdev,
+    overloaded_fraction,
+)
+from .report import SolutionReport, evaluate_solution
+
+__all__ = [
+    "total_bandwidth",
+    "broker_bandwidths",
+    "rms_delay",
+    "max_delay",
+    "delay_scatter",
+    "load_stdev",
+    "load_boxplot",
+    "load_cdf",
+    "overloaded_fraction",
+    "BoxplotStats",
+    "SolutionReport",
+    "evaluate_solution",
+]

@@ -1,0 +1,35 @@
+"""Bandwidth metric: expected total inbound traffic ``Q(T)``.
+
+``Q(T) = sum over brokers of measure(f_i)`` where the measure is the
+volume of the filter's union under uniform events, or the scaled
+probability mass under a non-uniform product distribution (paper
+Section II).  Bandwidth into leaf-to-subscriber links is excluded, as in
+the paper, because it does not depend on the assignment.
+"""
+
+from __future__ import annotations
+
+from ..pubsub.events import EventDistribution
+from ..pubsub.filters import Filter
+
+__all__ = ["total_bandwidth", "broker_bandwidths"]
+
+
+def broker_bandwidths(filters: dict[int, Filter],
+                      distribution: EventDistribution | None = None) -> dict[int, float]:
+    """Per-broker expected inbound bandwidth ``Q(B_i)``."""
+    result = {}
+    for node, filt in filters.items():
+        if filt.is_empty():
+            result[node] = 0.0
+        elif distribution is None:
+            result[node] = filt.measure()
+        else:
+            result[node] = distribution.filter_measure(filt.rects)
+    return result
+
+
+def total_bandwidth(filters: dict[int, Filter],
+                    distribution: EventDistribution | None = None) -> float:
+    """``Q(T)``: the paper's primary objective."""
+    return float(sum(broker_bandwidths(filters, distribution).values()))

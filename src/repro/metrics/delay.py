@@ -1,0 +1,38 @@
+"""Delay metrics.
+
+Per-subscriber delay is ``delta / Delta - 1`` (paper Section VI): the
+relative detour of the assigned path over the best achievable path.  The
+paper reports the root-mean-square of delays across subscribers and
+scatter plots of delay versus shortest-path distance (Figure 7(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import SAProblem
+
+__all__ = ["rms_delay", "max_delay", "delay_scatter"]
+
+
+def rms_delay(problem: SAProblem, assignment: np.ndarray) -> float:
+    """Root mean square of per-subscriber delays (unassigned -> excluded)."""
+    delays = problem.delays(assignment)
+    finite = delays[np.isfinite(delays)]
+    if finite.size == 0:
+        return float("inf")
+    return float(np.sqrt(np.mean(finite ** 2)))
+
+
+def max_delay(problem: SAProblem, assignment: np.ndarray) -> float:
+    delays = problem.delays(assignment)
+    finite = delays[np.isfinite(delays)]
+    if finite.size == 0:
+        return float("inf")
+    return float(finite.max())
+
+
+def delay_scatter(problem: SAProblem, assignment: np.ndarray) -> np.ndarray:
+    """Figure 7(b)'s series: rows ``(shortest_path_latency, delay)``."""
+    delays = problem.delays(assignment)
+    return np.column_stack([problem.shortest_latency, delays])

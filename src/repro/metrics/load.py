@@ -1,0 +1,65 @@
+"""Broker-load metrics: lbf, spread, CDF, and boxplot statistics.
+
+The paper examines broker loads via the standard deviation across brokers
+(Figures 6 and 8), per-algorithm boxplots against the ``beta`` /
+``beta_max`` lines (Figure 7(c)), and the cumulative distribution of loads
+(Figure 7(d), where Gr leaves >10% of brokers overloaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import SAProblem
+
+__all__ = ["load_stdev", "BoxplotStats", "load_boxplot", "load_cdf",
+           "overloaded_fraction"]
+
+
+def load_stdev(problem: SAProblem, assignment: np.ndarray) -> float:
+    """Standard deviation of per-leaf-broker subscriber counts."""
+    return float(problem.loads(assignment).std())
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary of broker loads plus the constraint lines."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    desired_cap: float   #: beta * kappa * m for equal kappas
+    maximum_cap: float   #: beta_max * kappa * m
+
+
+def load_boxplot(problem: SAProblem, assignment: np.ndarray) -> BoxplotStats:
+    loads = problem.loads(assignment).astype(float)
+    q1, median, q3 = np.percentile(loads, [25, 50, 75])
+    mean_capacity = problem.num_subscribers * float(problem.kappas.mean())
+    return BoxplotStats(
+        minimum=float(loads.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(loads.max()),
+        desired_cap=problem.params.beta * mean_capacity,
+        maximum_cap=problem.params.beta_max * mean_capacity,
+    )
+
+
+def load_cdf(problem: SAProblem, assignment: np.ndarray) -> np.ndarray:
+    """Empirical CDF of broker loads: rows ``(load, fraction_of_brokers)``."""
+    loads = np.sort(problem.loads(assignment))
+    fractions = np.arange(1, loads.size + 1) / loads.size
+    return np.column_stack([loads, fractions])
+
+
+def overloaded_fraction(problem: SAProblem, assignment: np.ndarray) -> float:
+    """Fraction of brokers whose load exceeds their ``beta_max`` share."""
+    loads = problem.loads(assignment)
+    caps = problem.params.beta_max * problem.kappas * problem.num_subscribers
+    return float(np.mean(loads > caps + 1e-9))

@@ -1,0 +1,72 @@
+"""Consolidated solution quality reports.
+
+One :class:`SolutionReport` per (algorithm, workload) pair collects every
+number the paper's figures use: total bandwidth, RMS/max delay, load
+spread, lbf, feasibility, runtime, and the LP fractional lower bound when
+the solver provides one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.problem import SASolution
+from ..pubsub.events import EventDistribution
+from .bandwidth import total_bandwidth
+from .delay import max_delay, rms_delay
+from .load import load_stdev
+
+__all__ = ["SolutionReport", "evaluate_solution"]
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """Everything the evaluation section reports about one solution."""
+
+    algorithm: str
+    bandwidth: float
+    rms_delay: float
+    max_delay: float
+    load_stdev: float
+    lbf: float
+    feasible: bool
+    all_assigned: bool
+    latency_ok: bool
+    nesting_ok: bool
+    fractional_bandwidth: float | None
+    runtime_seconds: float | None
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table printing."""
+        return {
+            "algorithm": self.algorithm,
+            "bandwidth": self.bandwidth,
+            "rms_delay": self.rms_delay,
+            "max_delay": self.max_delay,
+            "load_stdev": self.load_stdev,
+            "lbf": self.lbf,
+            "feasible": self.feasible,
+            "fractional": self.fractional_bandwidth,
+            "runtime_s": self.runtime_seconds,
+        }
+
+
+def evaluate_solution(name: str, solution: SASolution,
+                      distribution: EventDistribution | None = None,
+                      runtime_seconds: float | None = None) -> SolutionReport:
+    """Validate a solution and compute every headline metric."""
+    report = solution.validate()
+    return SolutionReport(
+        algorithm=name,
+        bandwidth=total_bandwidth(solution.filters, distribution),
+        rms_delay=rms_delay(solution.problem, solution.assignment),
+        max_delay=max_delay(solution.problem, solution.assignment),
+        load_stdev=load_stdev(solution.problem, solution.assignment),
+        lbf=report.lbf,
+        feasible=report.feasible,
+        all_assigned=report.all_assigned,
+        latency_ok=report.latency_ok,
+        nesting_ok=report.nesting_ok,
+        fractional_bandwidth=solution.fractional_bandwidth,
+        runtime_seconds=runtime_seconds,
+    )

@@ -1,0 +1,19 @@
+"""Network substrate: latency space, dissemination trees, embeddings."""
+
+from .builders import build_hierarchical_tree, build_one_level_tree
+from .embedding import Region, RegionModel, default_world_regions
+from .space import distance, distances_from_point, pairwise_distances
+from .tree import PUBLISHER, BrokerTree
+
+__all__ = [
+    "BrokerTree",
+    "PUBLISHER",
+    "build_one_level_tree",
+    "build_hierarchical_tree",
+    "Region",
+    "RegionModel",
+    "default_world_regions",
+    "distance",
+    "distances_from_point",
+    "pairwise_distances",
+]

@@ -1,0 +1,82 @@
+"""Constructors for dissemination trees.
+
+The paper evaluates two shapes:
+
+* a **one-level** network — every broker attached directly to the
+  publisher (Section VI, "Solution Quality for a One-Level Broker
+  Network");
+* a **multi-level** network — brokers organized in a tree that follows the
+  topology of the underlying network, with a bounded out-degree
+  (out-degree <= 15 for 200 brokers in the paper).
+
+The hierarchical builder clusters broker positions recursively (k-means in
+the network space), promoting the broker nearest each cluster's centroid
+to be the cluster's internal node.  This mirrors the paper's assumption
+that "broker trees often follow the topology of the underlying network".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.clustering import kmeans
+from .tree import BrokerTree
+
+__all__ = ["build_one_level_tree", "build_hierarchical_tree"]
+
+
+def build_one_level_tree(publisher_position: np.ndarray,
+                         broker_positions: np.ndarray) -> BrokerTree:
+    """A star: every broker is a leaf child of the publisher."""
+    pub = np.asarray(publisher_position, dtype=float)[None, :]
+    brokers = np.asarray(broker_positions, dtype=float)
+    if brokers.ndim != 2 or brokers.shape[0] == 0:
+        raise ValueError("broker_positions must be a non-empty (n, d) array")
+    positions = np.vstack([pub, brokers])
+    parents = np.zeros(positions.shape[0], dtype=int)
+    parents[0] = -1
+    return BrokerTree(positions, parents)
+
+
+def build_hierarchical_tree(publisher_position: np.ndarray,
+                            broker_positions: np.ndarray,
+                            max_out_degree: int,
+                            rng: np.random.Generator) -> BrokerTree:
+    """A topology-following multi-level tree with bounded out-degree.
+
+    Recursively k-means the broker positions into at most
+    ``max_out_degree`` clusters; the broker closest to each cluster's
+    centroid becomes an internal broker (child of the current root), and
+    the rest of the cluster is attached underneath it.  Clusters that fit
+    within the out-degree bound attach all their brokers as leaves.
+    """
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+    pub = np.asarray(publisher_position, dtype=float)[None, :]
+    brokers = np.asarray(broker_positions, dtype=float)
+    if brokers.ndim != 2 or brokers.shape[0] == 0:
+        raise ValueError("broker_positions must be a non-empty (n, d) array")
+
+    positions = np.vstack([pub, brokers])
+    parents = np.full(positions.shape[0], -1, dtype=int)
+
+    def attach(parent_node: int, broker_nodes: np.ndarray) -> None:
+        """Attach the given broker node ids (tree indices) under parent_node."""
+        if len(broker_nodes) == 0:
+            return
+        if len(broker_nodes) <= max_out_degree:
+            parents[broker_nodes] = parent_node
+            return
+        pts = positions[broker_nodes]
+        labels, centers = kmeans(pts, max_out_degree, rng)
+        for cluster in np.unique(labels):
+            members = broker_nodes[labels == cluster]
+            # Promote the member closest to the centroid as subtree root.
+            deltas = positions[members] - centers[cluster]
+            head = members[int(np.linalg.norm(deltas, axis=1).argmin())]
+            parents[head] = parent_node
+            rest = members[members != head]
+            attach(int(head), rest)
+
+    attach(0, np.arange(1, positions.shape[0]))
+    return BrokerTree(positions, parents)

@@ -1,0 +1,97 @@
+"""Synthetic internet latency embeddings.
+
+The paper maps hosts into ``N = R^5`` with a measurement-based embedding
+(Vivaldi-style); Euclidean distance approximates latency.  We do not have
+measurement data, so we *generate* embedded points directly with the same
+structure the embedding would produce: geographic regions form tight
+clusters that are far from each other, so intra-region latencies are small
+and inter-region latencies are large.
+
+Workload set #1 places subscribers across Asia, North America, and Europe
+with ratio 4 : 1 : 4 and draws broker locations from (roughly) the same
+distribution; :class:`RegionModel` captures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Region", "RegionModel", "default_world_regions"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographic region embedded as a Gaussian cluster in ``N``."""
+
+    name: str
+    center: tuple[float, ...]
+    spread: float
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        center = np.asarray(self.center, dtype=float)
+        return rng.normal(loc=center, scale=self.spread, size=(count, center.shape[0]))
+
+
+@dataclass(frozen=True)
+class RegionModel:
+    """A weighted mixture of regions used to draw host positions."""
+
+    regions: tuple[Region, ...]
+    weights: tuple[float, ...]
+    _cumulative: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.regions) != len(self.weights) or not self.regions:
+            raise ValueError("regions and weights must be non-empty and aligned")
+        w = np.asarray(self.weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        object.__setattr__(self, "_cumulative", np.cumsum(w / w.sum()))
+
+    @property
+    def dim(self) -> int:
+        return len(self.regions[0].center)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` host positions; rows are shuffled across regions."""
+        picks = np.searchsorted(self._cumulative, rng.random(count), side="right")
+        points = np.empty((count, self.dim))
+        for index, region in enumerate(self.regions):
+            mask = picks == index
+            if mask.any():
+                points[mask] = region.sample(rng, int(mask.sum()))
+        return points
+
+    def sample_region(self, rng: np.random.Generator, region_name: str,
+                      count: int) -> np.ndarray:
+        for region in self.regions:
+            if region.name == region_name:
+                return region.sample(rng, count)
+        raise KeyError(f"unknown region {region_name!r}")
+
+    def region_index(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample region indices only (used to correlate interests with location)."""
+        return np.searchsorted(self._cumulative, rng.random(count), side="right")
+
+
+def default_world_regions(dim: int = 5, *, scale: float = 100.0,
+                          spread: float = 8.0) -> RegionModel:
+    """Asia / North America / Europe at ratio 4 : 1 : 4, as in workload set #1.
+
+    Region centers sit on coordinate axes ``scale`` apart, so inter-region
+    latency is ~``scale * sqrt(2)`` while intra-region latency is ~``spread``
+    — the structure real embeddings exhibit.
+    """
+    def axis_center(axis: int) -> tuple[float, ...]:
+        center = [0.0] * dim
+        center[axis] = scale
+        return tuple(center)
+
+    regions = (
+        Region("asia", axis_center(0), spread),
+        Region("north-america", axis_center(1), spread),
+        Region("europe", axis_center(2), spread),
+    )
+    return RegionModel(regions, (4.0, 1.0, 4.0))

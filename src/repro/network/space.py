@@ -1,0 +1,39 @@
+"""The network space ``N``: a Euclidean latency embedding.
+
+Following the paper (Section II), network locations are points in a
+multi-dimensional Euclidean space produced by internet embedding techniques
+(Vivaldi and friends); the Euclidean distance between two points
+approximates the network latency between the corresponding hosts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["distance", "pairwise_distances", "distances_from_point"]
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Latency between two network points (Euclidean distance)."""
+    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+
+def distances_from_point(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Latencies from one point to each row of ``points`` (shape ``(n,)``)."""
+    deltas = np.asarray(points, dtype=float) - np.asarray(point, dtype=float)
+    return np.linalg.norm(deltas, axis=1)
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Latency matrix ``M[i, j] = d(a_i, b_j)`` of shape ``(len(a), len(b))``.
+
+    Uses the expanded-square identity to avoid materializing the full
+    ``(n, m, d)`` difference tensor.
+    """
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    a_sq = np.sum(a_arr ** 2, axis=1)[:, None]
+    b_sq = np.sum(b_arr ** 2, axis=1)[None, :]
+    cross = a_arr @ b_arr.T
+    squared = np.maximum(a_sq + b_sq - 2.0 * cross, 0.0)
+    return np.sqrt(squared)

@@ -1,0 +1,19 @@
+"""Pub/sub substrate: filters, event distributions, matching, simulation."""
+
+from .events import EventDistribution, PiecewiseUniformEvents, UniformEvents
+from .filters import Filter
+from .matching import BruteForceMatcher, GridMatcher
+from .rtree import RTreeMatcher
+from .simulator import SimulationResult, simulate_dissemination
+
+__all__ = [
+    "Filter",
+    "EventDistribution",
+    "UniformEvents",
+    "PiecewiseUniformEvents",
+    "BruteForceMatcher",
+    "GridMatcher",
+    "RTreeMatcher",
+    "SimulationResult",
+    "simulate_dissemination",
+]

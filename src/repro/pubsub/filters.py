@@ -1,0 +1,149 @@
+"""Broker filters: unions of at most ``alpha`` rectangles.
+
+A filter summarizes everything beneath a broker in the dissemination tree.
+An event is forwarded from a broker's parent iff the event lies inside the
+filter, so the *measure* of the filter is the broker's expected inbound
+bandwidth (paper Section II).
+
+Key operations:
+
+* point / subscription containment (subscription coverage means the
+  subscription box lies inside **one** of the filter's rectangles — this is
+  the paper's "cover" notion from Section IV-A.1);
+* union containment (`covers_rect`) for verifying the *nesting condition*
+  between a parent and child filter, which is containment of point sets,
+  not per-rectangle containment;
+* exact measure under the event distribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..geometry import Rect, RectSet, union_volume
+
+__all__ = ["Filter", "EMPTY_FILTER_DIM_ERROR"]
+
+EMPTY_FILTER_DIM_ERROR = "an empty filter needs an explicit dimension"
+
+
+class Filter:
+    """An immutable union of rectangles acting as a broker's filter."""
+
+    __slots__ = ("_rects",)
+
+    def __init__(self, rects: RectSet):
+        self._rects = rects
+
+    @classmethod
+    def empty(cls, dim: int) -> "Filter":
+        """The filter matching nothing (a broker serving no subscribers)."""
+        return cls(RectSet.empty(dim))
+
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect]) -> "Filter":
+        rect_list = list(rects)
+        if not rect_list:
+            raise ValueError(EMPTY_FILTER_DIM_ERROR)
+        return cls(RectSet.from_rects(rect_list))
+
+    @property
+    def rects(self) -> RectSet:
+        return self._rects
+
+    @property
+    def complexity(self) -> int:
+        """Number of rectangles (the paper's filter complexity)."""
+        return len(self._rects)
+
+    @property
+    def dim(self) -> int:
+        return self._rects.dim
+
+    def is_empty(self) -> bool:
+        return len(self._rects) == 0
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        if self.is_empty():
+            return False
+        return bool(self._rects.contains_points(
+            np.asarray(point, dtype=float)[None, :]).any())
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Mask over event points matched by the filter (vectorized)."""
+        pts = np.asarray(points, dtype=float)
+        if self.is_empty():
+            return np.zeros(pts.shape[0], dtype=bool)
+        return self._rects.contains_points(pts).any(axis=0)
+
+    def contains_subscription(self, subscription: Rect) -> bool:
+        """Paper 'cover': the subscription lies inside one rectangle."""
+        if self.is_empty():
+            return False
+        return bool(self._rects.contains_rect(subscription).any())
+
+    def covering_mask(self, subscriptions: RectSet) -> np.ndarray:
+        """Mask over subscriptions covered by the filter (single-rect containment)."""
+        if self.is_empty():
+            return np.zeros(len(subscriptions), dtype=bool)
+        return self._rects.containment_matrix(subscriptions).any(axis=0)
+
+    def covers_rect(self, rect: Rect) -> bool:
+        """Union containment: is every point of ``rect`` inside the filter?
+
+        Exact, by coordinate compression restricted to ``rect``: clip the
+        filter's rectangles to ``rect`` and check the clipped union volume
+        equals the volume of ``rect``.  Degenerate boxes are handled by
+        comparing against the (possibly zero) target volume with a
+        per-axis compressed check.
+        """
+        if self.is_empty():
+            return False
+        # Quick accept: one rectangle alone contains it.
+        if bool(self._rects.contains_rect(rect).any()):
+            return True
+        clipped_lo = np.maximum(self._rects.lo, rect.lo)
+        clipped_hi = np.minimum(self._rects.hi, rect.hi)
+        keep = np.all(clipped_lo <= clipped_hi, axis=1)
+        if not keep.any():
+            return False
+        clipped = RectSet(clipped_lo[keep], clipped_hi[keep], validate=False)
+        target = rect.volume()
+        if target == 0.0:
+            # Degenerate target: project out the flat axes (the clipped
+            # boxes already span the flat coordinates) and compare union
+            # volumes in the remaining subspace — exact in any dimension.
+            full_axes = np.flatnonzero(rect.hi > rect.lo)
+            if len(full_axes) == 0:
+                return True  # a point; some clipped box contains it
+            projected = RectSet(clipped.lo[:, full_axes],
+                                clipped.hi[:, full_axes], validate=False)
+            sub_target = float(np.prod(rect.hi[full_axes] - rect.lo[full_axes]))
+            return union_volume(projected) >= sub_target * (1.0 - 1e-12)
+        return union_volume(clipped) >= target * (1.0 - 1e-12)
+
+    def covers_filter(self, other: "Filter") -> bool:
+        """Nesting check: does this filter contain ``other`` as a point set?"""
+        return all(self.covers_rect(rect) for rect in other.rects)
+
+    def measure(self) -> float:
+        """Uniform-event measure: exact Lebesgue volume of the union."""
+        if self.is_empty():
+            return 0.0
+        return union_volume(self._rects)
+
+    def expand(self, eps: float) -> "Filter":
+        """The paper's epsilon-expansion ``(1 + eps) phi`` of the filter."""
+        return Filter(self._rects.expand(eps))
+
+    def merged_with(self, rect: Rect) -> "Filter":
+        """A new filter with one more rectangle (no complexity enforcement)."""
+        addition = RectSet(rect.lo[None, :], rect.hi[None, :], validate=False)
+        if self.is_empty():
+            return Filter(addition)
+        return Filter(self._rects.concat(addition))
+
+    def __repr__(self) -> str:
+        return f"Filter(complexity={self.complexity}, dim={self._rects.dim})"

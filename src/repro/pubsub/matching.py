@@ -1,0 +1,105 @@
+"""Event-to-subscription matching.
+
+Leaf brokers must find, for each incoming event, the assigned subscribers
+whose subscription boxes contain the event point.  Two matchers:
+
+* :class:`BruteForceMatcher` — vectorized scan of every subscription;
+  the oracle used in tests.
+* :class:`GridMatcher` — a uniform grid over the event domain; each cell
+  stores the subscriptions intersecting it, so a lookup only scans one
+  cell's list.  This is the standard content-based matching index for
+  rectangle subscriptions and keeps the dissemination simulator fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+
+__all__ = ["BruteForceMatcher", "GridMatcher"]
+
+
+class BruteForceMatcher:
+    """Match by scanning all subscriptions (exact, O(n) per event)."""
+
+    def __init__(self, subscriptions: RectSet):
+        self._subs = subscriptions
+
+    def match_point(self, point: np.ndarray) -> np.ndarray:
+        """Ids of subscriptions containing the event point."""
+        mask = self._subs.contains_points(
+            np.asarray(point, dtype=float)[None, :])[:, 0]
+        return np.flatnonzero(mask)
+
+    def match_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(num_subscriptions, num_events)``."""
+        return self._subs.contains_points(points)
+
+
+class GridMatcher:
+    """Match via a uniform grid index over the event domain.
+
+    Parameters
+    ----------
+    subscriptions:
+        The subscription boxes to index.
+    domain:
+        The event domain; events outside it still match correctly (they
+        fall into clamped border cells).
+    resolution:
+        Number of grid cells per axis.
+    """
+
+    def __init__(self, subscriptions: RectSet, domain: Rect, resolution: int = 16):
+        if resolution < 1:
+            raise ValueError("resolution must be at least 1")
+        self._subs = subscriptions
+        self._domain = domain
+        self._resolution = resolution
+        self._dim = domain.dim
+        widths = domain.widths
+        if np.any(widths <= 0):
+            raise ValueError("domain must have positive extent on every axis")
+        self._cell_size = widths / resolution
+
+        # cells[flat_index] -> array of subscription ids intersecting the cell
+        buckets: dict[int, list[int]] = {}
+        lo_cells = self._cell_coords(subscriptions.lo)
+        hi_cells = self._cell_coords(subscriptions.hi)
+        for sub_id in range(len(subscriptions)):
+            ranges = [range(lo_cells[sub_id, axis], hi_cells[sub_id, axis] + 1)
+                      for axis in range(self._dim)]
+            for cell in np.ndindex(*[len(r) for r in ranges]):
+                coords = tuple(ranges[axis][cell[axis]] for axis in range(self._dim))
+                flat = self._flatten(coords)
+                buckets.setdefault(flat, []).append(sub_id)
+        self._buckets = {k: np.array(v, dtype=int) for k, v in buckets.items()}
+
+    def _cell_coords(self, points: np.ndarray) -> np.ndarray:
+        rel = (np.asarray(points, dtype=float) - self._domain.lo) / self._cell_size
+        return np.clip(rel.astype(int), 0, self._resolution - 1)
+
+    def _flatten(self, coords: tuple[int, ...]) -> int:
+        flat = 0
+        for c in coords:
+            flat = flat * self._resolution + int(c)
+        return flat
+
+    def match_point(self, point: np.ndarray) -> np.ndarray:
+        cell = self._cell_coords(np.asarray(point, dtype=float)[None, :])[0]
+        bucket = self._buckets.get(self._flatten(tuple(cell)))
+        if bucket is None:
+            return np.empty(0, dtype=int)
+        candidates = self._subs.take(bucket)
+        mask = candidates.contains_points(
+            np.asarray(point, dtype=float)[None, :])[:, 0]
+        return bucket[mask]
+
+    def match_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(num_subscriptions, num_events)`` via per-event lookups."""
+        pts = np.asarray(points, dtype=float)
+        out = np.zeros((len(self._subs), pts.shape[0]), dtype=bool)
+        for j in range(pts.shape[0]):
+            out[self.match_point(pts[j]), j] = True
+        return out

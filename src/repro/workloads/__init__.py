@@ -1,0 +1,27 @@
+"""Workload generators: the paper's three evaluation sets plus adversarial."""
+
+from .adversarial import generate_clustered_shuffle
+from .base import Workload, multilevel_problem, one_level_problem
+from .googlegroups import (
+    VARIANTS,
+    GoogleGroupsConfig,
+    generate_google_groups,
+    variant_name,
+)
+from .grid import GridConfig, generate_grid
+from .rss import RssConfig, generate_rss
+
+__all__ = [
+    "Workload",
+    "one_level_problem",
+    "multilevel_problem",
+    "GoogleGroupsConfig",
+    "generate_google_groups",
+    "VARIANTS",
+    "variant_name",
+    "RssConfig",
+    "generate_rss",
+    "GridConfig",
+    "generate_grid",
+    "generate_clustered_shuffle",
+]

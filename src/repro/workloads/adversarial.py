@@ -1,0 +1,86 @@
+"""Adversarial instances where greedy assignment fails badly.
+
+The paper (Section VI, Discussion) notes that the technical report shows
+"several instances for which Gr* performs orders of magnitude worse than
+SLP" — the motivation for having a principled yardstick at all.  This
+module constructs such an instance:
+
+* subscriptions form ``k`` tight, well-separated clusters in the event
+  space, but arrive in *shuffled* order;
+* there are exactly ``k`` brokers with hard per-broker capacity
+  (``beta = beta_max = 1``), all latency-equivalent;
+* filter complexity ``alpha = 1``.
+
+The optimal solution sends one cluster to each broker (total bandwidth ~=
+``k`` x cluster volume).  Greedy, seeing a shuffled stream, seeds brokers
+with rectangles from arbitrary clusters and then grows every filter
+across multiple clusters — bandwidth explodes by orders of magnitude.
+SLP's candidate filters include the per-cluster MEBs, so its LP recovers
+the tiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+from ..network import default_world_regions
+from .base import Workload
+
+__all__ = ["generate_clustered_shuffle"]
+
+
+def generate_clustered_shuffle(seed: int, *,
+                               num_clusters: int = 8,
+                               subscribers_per_cluster: int = 50,
+                               event_extent: float = 1000.0,
+                               cluster_width_fraction: float = 0.02) -> Workload:
+    """The shuffled-clusters trap for greedy algorithms.
+
+    All subscribers share one network location (latency never binds), so
+    the only structure is in the event space, where greedy's myopic
+    least-enlargement rule is maximally misled.
+    """
+    rng = np.random.default_rng(seed)
+    k = num_clusters
+    per = subscribers_per_cluster
+    m = k * per
+    extent = event_extent
+
+    # Cluster anchors on a coarse grid, far apart relative to their size.
+    grid = int(np.ceil(np.sqrt(k)))
+    anchor_step = extent / grid
+    anchors = np.array([[(c % grid + 0.5) * anchor_step,
+                         (c // grid + 0.5) * anchor_step] for c in range(k)])
+
+    width = cluster_width_fraction * extent
+    cluster_of = np.repeat(np.arange(k), per)
+    rng.shuffle(cluster_of)  # the adversarial arrival order
+    centers = anchors[cluster_of] + rng.uniform(-width, width, size=(m, 2))
+    half = rng.uniform(0.2 * width, 0.5 * width, size=(m, 2))
+    subscriptions = RectSet(centers - half, centers + half)
+
+    regions = default_world_regions()
+    shared_point = regions.regions[0].sample(rng, 1)[0]
+    subscriber_points = np.tile(shared_point, (m, 1))
+    broker_points = np.tile(shared_point, (k, 1)) \
+        + rng.normal(scale=0.1, size=(k, regions.dim))
+    publisher = np.zeros(regions.dim)
+
+    return Workload(
+        name="adversarial-clustered-shuffle",
+        publisher=publisher,
+        broker_points=broker_points,
+        subscriber_points=subscriber_points,
+        subscriptions=subscriptions,
+        event_domain=Rect([0.0, 0.0], [extent, extent]),
+        default_beta=1.0,
+        default_beta_max=1.0,
+        metadata={
+            "set": "adversarial",
+            "clusters": k,
+            "per_cluster": per,
+            "cluster_of": cluster_of,
+            "seed": seed,
+        },
+    )

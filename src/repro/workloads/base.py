@@ -1,0 +1,118 @@
+"""Workload containers and problem construction helpers.
+
+A :class:`Workload` bundles everything the generators produce: publisher
+and broker locations in the network space, subscriber locations, the
+subscription boxes, the event domain, and the load-balance parameters the
+paper pairs with each workload set (Section VI, "Problem Settings").
+:func:`one_level_problem` / :func:`multilevel_problem` turn a workload
+into a concrete :class:`~repro.core.problem.SAProblem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import SAParameters, SAProblem
+from ..geometry import Rect, RectSet
+from ..network import build_hierarchical_tree, build_one_level_tree
+
+__all__ = ["Workload", "one_level_problem", "multilevel_problem",
+           "stratified_broker_points"]
+
+
+def stratified_broker_points(rng: np.random.Generator,
+                             subscriber_points: np.ndarray,
+                             num_brokers: int,
+                             jitter: float = 2.0) -> np.ndarray:
+    """Broker positions tracking the subscriber distribution.
+
+    Groups subscribers by identical network location (workload sets #2
+    and #3 pin subscribers to a location pool), allocates broker counts
+    per location by largest remainder, and jitters each broker around its
+    location.  This keeps provisioning proportional to demand — without
+    it, small broker counts can make load balance structurally
+    infeasible regardless of algorithm.
+    """
+    locations, inverse = np.unique(subscriber_points, axis=0,
+                                   return_inverse=True)
+    counts = np.bincount(inverse, minlength=len(locations))
+    quota = num_brokers * counts / counts.sum()
+    allocation = np.floor(quota).astype(int)
+    remainder = quota - allocation
+    while allocation.sum() < num_brokers:
+        pick = int(remainder.argmax())
+        allocation[pick] += 1
+        remainder[pick] = -np.inf
+    points = []
+    for loc, k in zip(locations, allocation):
+        if k:
+            points.append(loc + rng.normal(scale=jitter,
+                                           size=(int(k), loc.shape[0])))
+    return np.vstack(points)
+
+
+@dataclass
+class Workload:
+    """A complete generated SA workload."""
+
+    name: str
+    publisher: np.ndarray
+    broker_points: np.ndarray
+    subscriber_points: np.ndarray
+    subscriptions: RectSet
+    event_domain: Rect
+    #: the beta / beta_max the paper uses with this workload set
+    default_beta: float = 1.5
+    default_beta_max: float = 1.8
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_subscribers(self) -> int:
+        return self.subscriber_points.shape[0]
+
+    @property
+    def num_brokers(self) -> int:
+        return self.broker_points.shape[0]
+
+    def parameters(self, *, alpha: int = 3, max_delay: float = 0.3,
+                   beta: float | None = None,
+                   beta_max: float | None = None,
+                   latency_mode: str = "path") -> SAParameters:
+        """SA parameters with this workload's default betas filled in."""
+        return SAParameters(
+            alpha=alpha,
+            max_delay=max_delay,
+            beta=self.default_beta if beta is None else beta,
+            beta_max=self.default_beta_max if beta_max is None else beta_max,
+            latency_mode=latency_mode,
+        )
+
+
+def one_level_problem(workload: Workload, *, alpha: int = 3,
+                      max_delay: float = 0.3,
+                      beta: float | None = None,
+                      beta_max: float | None = None) -> SAProblem:
+    """The paper's one-level setting: all brokers attached to the publisher."""
+    tree = build_one_level_tree(workload.publisher, workload.broker_points)
+    params = workload.parameters(alpha=alpha, max_delay=max_delay,
+                                 beta=beta, beta_max=beta_max)
+    return SAProblem(tree, workload.subscriber_points,
+                     workload.subscriptions, params)
+
+
+def multilevel_problem(workload: Workload, *, max_out_degree: int = 15,
+                       alpha: int = 3, max_delay: float = 0.3,
+                       beta: float | None = None,
+                       beta_max: float | None = None,
+                       seed: int = 0) -> SAProblem:
+    """The paper's multi-level setting (bounded out-degree broker tree)."""
+    rng = np.random.default_rng(seed)
+    tree = build_hierarchical_tree(workload.publisher, workload.broker_points,
+                                   max_out_degree, rng)
+    params = workload.parameters(alpha=alpha, max_delay=max_delay,
+                                 beta=beta, beta_max=beta_max)
+    return SAProblem(tree, workload.subscriber_points,
+                     workload.subscriptions, params)

@@ -1,0 +1,175 @@
+"""Workload set #1: Google-Groups-style workloads (paper Section VI).
+
+The paper's generator [6] extrapolates from publicly available Google
+Groups statistics; we do not have the crawl, so this module reproduces
+the workload *properties* the paper actually varies and describes:
+
+* subscribers split across Asia : North America : Europe = 4 : 1 : 4 in
+  ``N = R^5``, brokers drawn from (roughly) the same distribution;
+* subscriptions are rectangles in ``E = R^2`` clustered around *interests*
+  (groups): members of a group subscribe to rectangles near the group's
+  spot in the event space — topical concentration;
+* interests have regional affinity, correlating subscriber interests with
+  locations (the "geographical and topical concentration" FilterGen's
+  joint clustering exploits);
+* two axes, each Low/High (the paper's four variants, with the real
+  Google Groups baseline resembling ``IS:H, BI:L``):
+
+  - **IS** — interest skewness: the Zipf exponent of group popularity;
+  - **BI** — broad interests: the fraction of subscriptions that are
+    large rectangles (users watching a whole area of the event space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+from ..network import RegionModel, default_world_regions
+from .base import Workload
+
+__all__ = ["GoogleGroupsConfig", "generate_google_groups", "VARIANTS",
+           "variant_name"]
+
+#: The paper's four workload-set-#1 variants.
+VARIANTS = (("L", "L"), ("H", "L"), ("L", "H"), ("H", "H"))
+
+
+def variant_name(interest_skew: str, broad_interests: str) -> str:
+    return f"(IS:{interest_skew}, BI:{broad_interests})"
+
+
+class GoogleGroupsConfig:
+    """Shape parameters of the generator (defaults scaled for laptops)."""
+
+    def __init__(self, *,
+                 num_subscribers: int = 2000,
+                 num_brokers: int = 20,
+                 interest_skew: str = "H",
+                 broad_interests: str = "L",
+                 num_interests: int | None = None,
+                 event_extent: float = 1000.0,
+                 regions: RegionModel | None = None):
+        if interest_skew not in ("L", "H") or broad_interests not in ("L", "H"):
+            raise ValueError("interest_skew and broad_interests must be 'L' or 'H'")
+        self.num_subscribers = num_subscribers
+        self.num_brokers = num_brokers
+        self.interest_skew = interest_skew
+        self.broad_interests = broad_interests
+        self.num_interests = num_interests or max(20, num_subscribers // 40)
+        self.event_extent = event_extent
+        self.regions = regions or default_world_regions()
+
+    @property
+    def zipf_exponent(self) -> float:
+        """Popularity skew across interests: mild (L) vs strong (H)."""
+        return 0.5 if self.interest_skew == "L" else 1.2
+
+    @property
+    def broad_fraction(self) -> float:
+        """Share of subscriptions that are broad (large) rectangles."""
+        return 0.05 if self.broad_interests == "L" else 0.25
+
+
+def _zipf_probabilities(count: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_google_groups(seed: int,
+                           config: GoogleGroupsConfig | None = None) -> Workload:
+    """Generate one workload-set-#1 instance."""
+    config = config or GoogleGroupsConfig()
+    rng = np.random.default_rng(seed)
+    regions = config.regions
+    extent = config.event_extent
+
+    # Interests: an event-space center, a topical spread, and a regional
+    # affinity (most members come from the interest's home region).
+    k = config.num_interests
+    interest_centers = rng.uniform(0.05 * extent, 0.95 * extent, size=(k, 2))
+    interest_spread = rng.uniform(0.01 * extent, 0.04 * extent, size=k)
+    num_regions = len(regions.regions)
+    home_region = regions.region_index(rng, k)
+    # Members lean toward the interest's home region but every interest has
+    # a global tail, so the marginal subscriber distribution stays close to
+    # the 4 : 1 : 4 regional split.
+    affinity = np.full((k, num_regions), 0.4 / max(num_regions - 1, 1))
+    affinity[np.arange(k), home_region] = 0.6
+
+    popularity = _zipf_probabilities(k, config.zipf_exponent)
+    interest_of = rng.choice(k, size=config.num_subscribers, p=popularity)
+
+    # Subscriber locations: draw from the affinity-weighted regions.
+    subscriber_points = np.empty((config.num_subscribers, regions.dim))
+    region_of = np.empty(config.num_subscribers, dtype=int)
+    for g in np.unique(interest_of):
+        members = np.flatnonzero(interest_of == g)
+        region_pick = rng.choice(num_regions, size=len(members), p=affinity[g])
+        region_of[members] = region_pick
+        for r in np.unique(region_pick):
+            chosen = members[region_pick == r]
+            subscriber_points[chosen] = regions.regions[r].sample(rng, len(chosen))
+
+    # Subscriptions: rectangles around the interest's event-space center.
+    centers = (interest_centers[interest_of]
+               + rng.normal(scale=interest_spread[interest_of][:, None],
+                            size=(config.num_subscribers, 2)))
+    narrow = rng.uniform(0.01 * extent, 0.05 * extent,
+                         size=(config.num_subscribers, 2))
+    broad = rng.uniform(0.25 * extent, 0.6 * extent,
+                        size=(config.num_subscribers, 2))
+    is_broad = rng.random(config.num_subscribers) < config.broad_fraction
+    widths = np.where(is_broad[:, None], broad, narrow)
+    lo = np.clip(centers - widths / 2, 0.0, extent)
+    hi = np.clip(centers + widths / 2, 0.0, extent)
+    subscriptions = RectSet(lo, hi)
+
+    # Brokers follow the subscriber distribution (paper: "roughly the
+    # same as that of the subscribers"): allocate broker counts per region
+    # proportional to the realized subscriber counts (largest remainder,
+    # at least one per populated region — without stratification, sampling
+    # variance can starve a region and make load balance structurally
+    # infeasible), then plant each broker near a random subscriber of its
+    # region.  The publisher sits at the regions' common origin.
+    region_counts = np.bincount(region_of, minlength=num_regions)
+    quota = config.num_brokers * region_counts / config.num_subscribers
+    allocation = np.floor(quota).astype(int)
+    allocation[region_counts > 0] = np.maximum(
+        allocation[region_counts > 0], 1)
+    while allocation.sum() < config.num_brokers:
+        allocation[int(np.argmax(quota - allocation))] += 1
+    while allocation.sum() > config.num_brokers:
+        over = np.where(allocation > 1, allocation - quota, -np.inf)
+        allocation[int(np.argmax(over))] -= 1
+
+    broker_rows = []
+    for r in range(num_regions):
+        members = np.flatnonzero(region_of == r)
+        if allocation[r] == 0 or len(members) == 0:
+            continue
+        anchor = rng.choice(members, size=allocation[r],
+                            replace=allocation[r] > len(members))
+        broker_rows.append(subscriber_points[anchor] + rng.normal(
+            scale=2.0, size=(allocation[r], regions.dim)))
+    broker_points = np.vstack(broker_rows)
+    publisher = np.zeros(regions.dim)
+
+    return Workload(
+        name=f"googlegroups{variant_name(config.interest_skew, config.broad_interests)}",
+        publisher=publisher,
+        broker_points=broker_points,
+        subscriber_points=subscriber_points,
+        subscriptions=subscriptions,
+        event_domain=Rect([0.0, 0.0], [extent, extent]),
+        default_beta=1.5,
+        default_beta_max=1.8,
+        metadata={
+            "set": 1,
+            "interest_skew": config.interest_skew,
+            "broad_interests": config.broad_interests,
+            "num_interests": k,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,111 @@
+"""Workload set #3: grid-cell hot spots, interests independent of location
+(paper Section VI; mimics Sub-2-Sub [19] and related evaluations).
+
+The event space is partitioned into a 10x10 grid of 100 cells.  Cells are
+ranked in random order and a subscription's center is the center of a
+cell drawn Zipf(0.5) by rank — creating hot spots in E.  Subscription
+widths per dimension come from a predefined width set, also Zipf(0.5).
+Each subscriber sits at one of a pool of network locations chosen
+uniformly — interests and locations are *independent*, so the paper
+tightens the load-balance factors to ``beta = 1.3`` / ``beta_max = 1.5``
+(random locations make balancing easy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+from ..network import RegionModel, default_world_regions
+from .base import Workload, stratified_broker_points
+
+__all__ = ["GridConfig", "generate_grid"]
+
+
+class GridConfig:
+    """Shape parameters (paper values by default, sizes scaled down)."""
+
+    def __init__(self, *,
+                 num_subscribers: int = 2000,
+                 num_brokers: int = 20,
+                 cells_per_axis: int = 10,
+                 zipf_exponent: float = 0.5,
+                 width_fractions: tuple[float, ...] = (0.02, 0.04, 0.08, 0.16, 0.32),
+                 num_locations: int = 50,
+                 event_extent: float = 100.0,
+                 regions: RegionModel | None = None):
+        self.num_subscribers = num_subscribers
+        self.num_brokers = num_brokers
+        self.cells_per_axis = cells_per_axis
+        self.zipf_exponent = zipf_exponent
+        self.width_fractions = width_fractions
+        self.num_locations = num_locations
+        self.event_extent = event_extent
+        self.regions = regions or default_world_regions()
+
+
+def _zipf(count: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_grid(seed: int, config: GridConfig | None = None) -> Workload:
+    """Generate one workload-set-#3 instance."""
+    config = config or GridConfig()
+    rng = np.random.default_rng(seed)
+    extent = config.event_extent
+    cells = config.cells_per_axis
+
+    # Rank the grid cells in random order; hot cells attract more centers.
+    num_cells = cells * cells
+    cell_order = rng.permutation(num_cells)
+    cell_probabilities = np.empty(num_cells)
+    cell_probabilities[cell_order] = _zipf(num_cells, config.zipf_exponent)
+
+    chosen_cells = rng.choice(num_cells, size=config.num_subscribers,
+                              p=cell_probabilities)
+    cell_size = extent / cells
+    cell_x = (chosen_cells % cells + 0.5) * cell_size
+    cell_y = (chosen_cells // cells + 0.5) * cell_size
+    centers = np.column_stack([cell_x, cell_y])
+
+    # Widths per dimension from the predefined set, Zipf-weighted.
+    width_probabilities = _zipf(len(config.width_fractions),
+                                config.zipf_exponent)
+    width_values = np.asarray(config.width_fractions) * extent
+    widths = width_values[rng.choice(len(width_values),
+                                     size=(config.num_subscribers, 2),
+                                     p=width_probabilities)]
+    lo = np.clip(centers - widths / 2, 0.0, extent)
+    hi = np.clip(centers + widths / 2, 0.0, extent)
+    subscriptions = RectSet(lo, hi)
+
+    # Locations independent of interests: a shared uniform pool.
+    locations = config.regions.sample(rng, config.num_locations)
+    subscriber_points = locations[rng.integers(config.num_locations,
+                                               size=config.num_subscribers)]
+
+    # Brokers track the subscriber location pool (see rss.py for the
+    # rationale: independent broker placement can make load balance
+    # structurally infeasible at small broker counts).
+    broker_points = stratified_broker_points(rng, subscriber_points,
+                                             config.num_brokers)
+    publisher = np.zeros(config.regions.dim)
+
+    return Workload(
+        name="grid",
+        publisher=publisher,
+        broker_points=broker_points,
+        subscriber_points=subscriber_points,
+        subscriptions=subscriptions,
+        event_domain=Rect([0.0, 0.0], [extent, extent]),
+        default_beta=1.3,
+        default_beta_max=1.5,
+        metadata={
+            "set": 3,
+            "cells": num_cells,
+            "num_locations": config.num_locations,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,90 @@
+"""Workload set #2: RSS-feed-style, essentially topic-based (paper Section VI).
+
+Reproduces the workloads of Corona [17] and related systems: 50 distinct
+interests whose popularity follows Zipf with exponent 0.5; each interest
+is a random *unit square* in the event space (so all subscribers of an
+interest share the same subscription — topic-based); subscriber locations
+are drawn uniformly from 10 fixed network locations.  Neither space has a
+notion of proximity, which is why the paper relaxes the load-balance
+factors to ``beta = 2.3`` / ``beta_max = 2.5`` (interest skew makes the
+subscriber distribution over N skewed too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+from ..network import RegionModel, default_world_regions
+from .base import Workload, stratified_broker_points
+
+__all__ = ["RssConfig", "generate_rss"]
+
+
+class RssConfig:
+    """Shape parameters (paper values by default, sizes scaled down)."""
+
+    def __init__(self, *,
+                 num_subscribers: int = 2000,
+                 num_brokers: int = 20,
+                 num_interests: int = 50,
+                 num_locations: int = 10,
+                 zipf_exponent: float = 0.5,
+                 event_extent: float = 100.0,
+                 regions: RegionModel | None = None):
+        self.num_subscribers = num_subscribers
+        self.num_brokers = num_brokers
+        self.num_interests = num_interests
+        self.num_locations = num_locations
+        self.zipf_exponent = zipf_exponent
+        self.event_extent = event_extent
+        self.regions = regions or default_world_regions()
+
+
+def generate_rss(seed: int, config: RssConfig | None = None) -> Workload:
+    """Generate one workload-set-#2 instance."""
+    config = config or RssConfig()
+    rng = np.random.default_rng(seed)
+    extent = config.event_extent
+
+    # Interests: unit squares placed uniformly at random in E.
+    corners = rng.uniform(0.0, extent - 1.0, size=(config.num_interests, 2))
+    ranks = np.arange(1, config.num_interests + 1, dtype=float)
+    weights = ranks ** (-config.zipf_exponent)
+    popularity = weights / weights.sum()
+
+    interest_of = rng.choice(config.num_interests,
+                             size=config.num_subscribers, p=popularity)
+    lo = corners[interest_of]
+    subscriptions = RectSet(lo, lo + 1.0)
+
+    # Ten fixed network locations; every subscriber sits exactly at one.
+    locations = config.regions.sample(rng, config.num_locations)
+    location_of = rng.integers(config.num_locations,
+                               size=config.num_subscribers)
+    subscriber_points = locations[location_of]
+
+    # Brokers track the (skewed) subscriber distribution over the ten
+    # locations — a deployed system provisions brokers where the
+    # subscribers are, and without this the load-balance constraints can
+    # be structurally infeasible at small broker counts.
+    broker_points = stratified_broker_points(rng, subscriber_points,
+                                             config.num_brokers)
+    publisher = np.zeros(config.regions.dim)
+
+    return Workload(
+        name="rss",
+        publisher=publisher,
+        broker_points=broker_points,
+        subscriber_points=subscriber_points,
+        subscriptions=subscriptions,
+        event_domain=Rect([0.0, 0.0], [extent, extent]),
+        default_beta=2.3,
+        default_beta_max=2.5,
+        metadata={
+            "set": 2,
+            "num_interests": config.num_interests,
+            "num_locations": config.num_locations,
+            "seed": seed,
+        },
+    )

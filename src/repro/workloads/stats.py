@@ -1,0 +1,168 @@
+"""Workload diagnostics: the statistics the paper's axes are built on.
+
+The paper varies two workload factors — **IS** (interest skewness) and
+**BI** (number of broad interests) — derived from publicly available
+Google Groups statistics [6].  This module measures those properties on
+*any* generated workload, so users can verify a workload has the
+characteristics they intend (and tests can assert the generators hit
+their targets):
+
+* :func:`popularity_skew` — a Zipf exponent fitted to the popularity of
+  interest clusters in the event space;
+* :func:`broad_interest_fraction` — the share of subscriptions that are
+  large relative to the event domain;
+* :func:`interest_location_correlation` — how strongly subscriber
+  location depends on interest (the geographic/topical correlation that
+  FilterGen's joint clustering exploits);
+* :func:`overlap_statistics` — sampled pairwise subscription overlap,
+  the driver of filter sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import kmeans
+from .base import Workload
+
+__all__ = [
+    "popularity_skew",
+    "broad_interest_fraction",
+    "interest_location_correlation",
+    "overlap_statistics",
+    "OverlapStats",
+    "describe_workload",
+]
+
+
+def _interest_labels(workload: Workload, num_clusters: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Cluster subscriptions in the event space into interest groups."""
+    centers = workload.subscriptions.centers()
+    k = min(num_clusters, len(workload.subscriptions))
+    labels, _ = kmeans(centers, k, rng)
+    return labels
+
+
+def popularity_skew(workload: Workload, *, num_clusters: int = 30,
+                    seed: int = 0) -> float:
+    """Fitted Zipf exponent of interest popularity.
+
+    Clusters subscriptions into interests, ranks cluster sizes, and fits
+    ``log(count) ~ -s * log(rank)`` by least squares.  Higher ``s`` means
+    a more skewed (IS:H-like) workload; ~0 means uniform popularity.
+    """
+    rng = np.random.default_rng(seed)
+    labels = _interest_labels(workload, num_clusters, rng)
+    counts = np.sort(np.bincount(labels))[::-1].astype(float)
+    counts = counts[counts > 0]
+    if len(counts) < 3:
+        return 0.0
+    ranks = np.arange(1, len(counts) + 1, dtype=float)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(counts), 1)
+    return float(max(-slope, 0.0))
+
+
+def broad_interest_fraction(workload: Workload, *,
+                            width_threshold: float = 0.2) -> float:
+    """Fraction of subscriptions broad in at least one dimension.
+
+    ``width_threshold`` is relative to the event-domain extent per axis
+    (the paper's BI axis: "number of broad interests (i.e., large
+    rectangles)").
+    """
+    widths = workload.subscriptions.widths()
+    extents = workload.event_domain.widths
+    relative = widths / extents[None, :]
+    return float((relative > width_threshold).any(axis=1).mean())
+
+
+def interest_location_correlation(workload: Workload, *,
+                                  num_clusters: int = 30,
+                                  seed: int = 0) -> float:
+    """Between-interest share of location variance, in ``[0, 1]``.
+
+    Computes the classic correlation ratio (eta^2): the fraction of total
+    subscriber-location variance explained by the interest clusters.
+    Near 0 = locations independent of interests (workload sets #2-ish and
+    #3); substantially positive = geographically concentrated interests
+    (workload set #1).
+    """
+    rng = np.random.default_rng(seed)
+    labels = _interest_labels(workload, num_clusters, rng)
+    points = workload.subscriber_points
+    overall_mean = points.mean(axis=0)
+    total = float(((points - overall_mean) ** 2).sum())
+    if total == 0.0:
+        return 0.0
+    between = 0.0
+    for cluster in np.unique(labels):
+        members = points[labels == cluster]
+        between += len(members) * float(
+            ((members.mean(axis=0) - overall_mean) ** 2).sum())
+    return float(np.clip(between / total, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class OverlapStats:
+    """Sampled pairwise subscription overlap."""
+
+    intersect_fraction: float   #: fraction of sampled pairs that intersect
+    containment_fraction: float  #: fraction where one contains the other
+    mean_jaccard: float          #: average volume-Jaccard of sampled pairs
+
+
+def overlap_statistics(workload: Workload, *, samples: int = 2000,
+                       seed: int = 0) -> OverlapStats:
+    """Monte Carlo estimate of pairwise subscription overlap."""
+    rng = np.random.default_rng(seed)
+    subs = workload.subscriptions
+    n = len(subs)
+    if n < 2:
+        return OverlapStats(0.0, 0.0, 0.0)
+    first = rng.integers(0, n, size=samples)
+    second = rng.integers(0, n, size=samples)
+    keep = first != second
+    first, second = first[keep], second[keep]
+
+    lo = np.maximum(subs.lo[first], subs.lo[second])
+    hi = np.minimum(subs.hi[first], subs.hi[second])
+    widths = hi - lo
+    intersects = (widths >= 0).all(axis=1)
+    inter_volume = np.where(intersects,
+                            np.prod(np.maximum(widths, 0.0), axis=1), 0.0)
+
+    vol_a = subs.volumes()[first]
+    vol_b = subs.volumes()[second]
+    union_volume = vol_a + vol_b - inter_volume
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaccard = np.where(union_volume > 0, inter_volume / union_volume, 0.0)
+
+    contains = ((subs.lo[first] <= subs.lo[second])
+                & (subs.hi[second] <= subs.hi[first])).all(axis=1)
+    contained = ((subs.lo[second] <= subs.lo[first])
+                 & (subs.hi[first] <= subs.hi[second])).all(axis=1)
+
+    return OverlapStats(
+        intersect_fraction=float(intersects.mean()),
+        containment_fraction=float((contains | contained).mean()),
+        mean_jaccard=float(jaccard.mean()),
+    )
+
+
+def describe_workload(workload: Workload, *, seed: int = 0) -> dict[str, float]:
+    """All diagnostics in one dictionary (used by the analysis example)."""
+    overlap = overlap_statistics(workload, seed=seed)
+    return {
+        "subscribers": float(workload.num_subscribers),
+        "brokers": float(workload.num_brokers),
+        "popularity_skew": popularity_skew(workload, seed=seed),
+        "broad_interest_fraction": broad_interest_fraction(workload),
+        "interest_location_correlation":
+            interest_location_correlation(workload, seed=seed),
+        "pair_intersect_fraction": overlap.intersect_fraction,
+        "pair_containment_fraction": overlap.containment_fraction,
+        "pair_mean_jaccard": overlap.mean_jaccard,
+    }

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast, deterministic problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GoogleGroupsConfig,
+    SAParameters,
+    SAProblem,
+    build_one_level_tree,
+    default_world_regions,
+    generate_google_groups,
+    multilevel_problem,
+    one_level_problem,
+)
+from repro.geometry import RectSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_workload():
+    config = GoogleGroupsConfig(num_subscribers=300, num_brokers=8,
+                                interest_skew="H", broad_interests="L")
+    return generate_google_groups(seed=5, config=config)
+
+
+@pytest.fixture
+def small_problem(small_workload) -> SAProblem:
+    return one_level_problem(small_workload)
+
+
+@pytest.fixture
+def small_multilevel_problem(small_workload) -> SAProblem:
+    return multilevel_problem(small_workload, max_out_degree=3, seed=2)
+
+
+@pytest.fixture
+def tiny_problem(rng) -> SAProblem:
+    """A 40-subscriber, 4-broker instance for exhaustive checks."""
+    regions = default_world_regions()
+    subscriber_points = regions.sample(rng, 40)
+    broker_points = subscriber_points[rng.choice(40, size=4, replace=False)]
+    tree = build_one_level_tree(np.zeros(5), broker_points)
+    centers = rng.uniform(10, 90, size=(40, 2))
+    widths = rng.uniform(2, 12, size=(40, 2))
+    subscriptions = RectSet(centers - widths / 2, centers + widths / 2)
+    params = SAParameters(alpha=2, max_delay=0.5, beta=1.5, beta_max=2.0)
+    return SAProblem(tree, subscriber_points, subscriptions, params)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+SMALL = ["--subscribers", "150", "--brokers", "5", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "googlegroups"
+        assert args.algorithms == ["SLP1", "Gr*"]
+        assert args.alpha == 3
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithms", "wat"])
+
+    def test_workload_choices(self):
+        for wl in ("googlegroups", "rss", "grid"):
+            args = build_parser().parse_args(["run", "--workload", wl])
+            assert args.workload == wl
+
+
+class TestCommands:
+    def test_algorithms_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "SLP1" in out
+        assert "Gr*" in out
+
+    def test_run_greedy(self, capsys):
+        assert main(["run", *SMALL, "--algorithms", "Gr*"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out
+        assert "Gr*" in out
+
+    def test_run_multilevel(self, capsys):
+        assert main(["run", *SMALL, "--brokers", "9", "--multilevel",
+                     "--max-out-degree", "3", "--algorithms", "Gr"]) == 0
+        assert "Gr" in capsys.readouterr().out
+
+    def test_run_rss_workload(self, capsys):
+        assert main(["run", *SMALL, "--workload", "rss",
+                     "--algorithms", "Gr"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_simulate_no_misses(self, capsys):
+        code = main(["simulate", *SMALL, "--algorithm", "Gr*",
+                     "--events", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "missed deliveries" in out
+
+    def test_dynamic_trajectory(self, capsys):
+        assert main(["dynamic", *SMALL, "--horizon", "4",
+                     "--reopt-every", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "initial" in out
+        assert "final" in out
+
+    def test_beta_overrides(self, capsys):
+        assert main(["run", *SMALL, "--beta", "2.0", "--beta-max", "2.5",
+                     "--algorithms", "Gr"]) == 0

@@ -1,0 +1,170 @@
+"""Tests for the greedy algorithms Gr, Gr*, and Gr-no-latency."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SAParameters,
+    SAProblem,
+    build_one_level_tree,
+    offline_greedy,
+    online_greedy,
+)
+from repro.geometry import RectSet
+from repro.metrics import evaluate_solution
+
+
+def clustered_problem(rng, m=100, brokers=5, max_delay=3.0):
+    points = rng.normal(size=(m, 3))
+    broker_points = rng.normal(size=(brokers, 3))
+    tree = build_one_level_tree(np.zeros(3), broker_points)
+    anchor = rng.integers(0, 4, size=m) * 25.0
+    centers = np.column_stack([anchor, anchor]) + rng.uniform(0, 5, size=(m, 2))
+    subs = RectSet(centers, centers + rng.uniform(0.5, 3, size=(m, 2)))
+    params = SAParameters(alpha=3, max_delay=max_delay, beta=1.5,
+                          beta_max=2.0)
+    return SAProblem(tree, points, subs, params)
+
+
+class TestOnlineGreedy:
+    def test_produces_valid_solution(self, rng):
+        problem = clustered_problem(rng)
+        solution = online_greedy(problem)
+        report = solution.validate()
+        assert report.all_assigned
+        assert report.nesting_ok
+        assert report.complexity_ok
+        assert report.latency_ok
+
+    def test_assigned_subscriptions_covered(self, rng):
+        problem = clustered_problem(rng)
+        solution = online_greedy(problem)
+        for j in range(problem.num_subscribers):
+            leaf = int(solution.assignment[j])
+            assert solution.filters[leaf].contains_subscription(
+                problem.subscriptions.rect(j))
+
+    def test_latency_respected_when_enabled(self, rng):
+        problem = clustered_problem(rng, max_delay=0.4)
+        solution = online_greedy(problem)
+        delays = problem.delays(solution.assignment)
+        assert (delays <= 0.4 + 1e-6).all()
+
+    def test_no_latency_variant_can_violate(self, rng):
+        problem = clustered_problem(rng, max_delay=0.05)
+        solution = online_greedy(problem, respect_latency=False)
+        assert solution.info["algorithm"] == "Gr-no-latency"
+        # With clustered interests and a tiny delay bound, ignoring latency
+        # places some subscriber beyond its budget.
+        delays = problem.delays(solution.assignment)
+        assert (delays > 0.05 + 1e-6).any()
+
+    def test_no_latency_bandwidth_not_worse(self, rng):
+        """Gr-no-latency optimizes bandwidth unconstrained; its bandwidth
+        should not exceed Gr's by much (the paper: 'too good to be true')."""
+        problem = clustered_problem(rng, max_delay=0.3)
+        with_latency = evaluate_solution("Gr", online_greedy(problem))
+        without = evaluate_solution(
+            "Gr-no-latency", online_greedy(problem, respect_latency=False))
+        assert without.bandwidth <= with_latency.bandwidth * 1.5
+
+    def test_custom_order_changes_result(self, rng):
+        problem = clustered_problem(rng)
+        forward = online_greedy(problem)
+        backward = online_greedy(
+            problem, order=np.arange(problem.num_subscribers)[::-1])
+        assert forward.info["algorithm"] == backward.info["algorithm"] == "Gr"
+        # Orders usually differ in total bandwidth; at minimum both valid.
+        assert backward.validate().all_assigned
+
+    def test_load_caps_respected_when_feasible(self, rng):
+        problem = clustered_problem(rng)
+        solution = online_greedy(problem)
+        if solution.info["load_cap_violations"] == 0:
+            assert problem.load_balance_factor(solution.assignment) \
+                <= problem.params.beta_max + 1e-9
+
+    def test_single_broker(self, rng):
+        points = rng.normal(size=(10, 2))
+        tree = build_one_level_tree(np.zeros(2), rng.normal(size=(1, 2)))
+        subs = RectSet(np.zeros((10, 2)), np.ones((10, 2)))
+        params = SAParameters(max_delay=5.0, beta=1.0, beta_max=1.0)
+        problem = SAProblem(tree, points, subs, params)
+        solution = online_greedy(problem)
+        assert (solution.assignment == tree.leaves[0]).all()
+
+
+class TestOfflineGreedy:
+    def test_produces_valid_solution(self, rng):
+        problem = clustered_problem(rng)
+        solution = offline_greedy(problem)
+        report = solution.validate()
+        assert report.all_assigned
+        assert report.nesting_ok
+        assert report.complexity_ok
+        assert solution.info["algorithm"] == "Gr*"
+
+    def test_all_subscribers_assigned_exactly_once(self, rng):
+        problem = clustered_problem(rng)
+        solution = offline_greedy(problem)
+        assert (solution.assignment >= 0).all()
+        assert len(solution.assignment) == problem.num_subscribers
+
+    def test_load_balance_better_or_equal_to_gr(self, rng):
+        """The paper's headline: Gr* produces more balanced loads than Gr."""
+        lbf_gr, lbf_star = [], []
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            problem = clustered_problem(local, m=120, brokers=4,
+                                        max_delay=1.0)
+            lbf_gr.append(problem.load_balance_factor(
+                online_greedy(problem).assignment))
+            lbf_star.append(problem.load_balance_factor(
+                offline_greedy(problem).assignment))
+        assert np.mean(lbf_star) <= np.mean(lbf_gr) + 1e-9
+
+    def test_deterministic(self, rng):
+        problem = clustered_problem(rng)
+        a = offline_greedy(problem).assignment
+        b = offline_greedy(problem).assignment
+        assert np.array_equal(a, b)
+
+    def test_constrained_first_ordering(self):
+        """Subscribers with one candidate go before flexible ones."""
+        rng = np.random.default_rng(0)
+        # Brokers far apart; subscribers near broker 0 have 1 candidate.
+        tree = build_one_level_tree(
+            np.zeros(2), np.array([[10.0, 0.0], [-10.0, 0.0]]))
+        points = np.vstack([np.tile([10.0, 0.1], (6, 1)),
+                            np.tile([0.0, 15.0], (4, 1))])
+        centers = rng.uniform(40, 60, size=(10, 2))
+        subs = RectSet(centers, centers + 1.0)
+        params = SAParameters(max_delay=0.2, beta=1.6, beta_max=1.6)
+        problem = SAProblem(tree, points, subs, params)
+        solution = offline_greedy(problem)
+        # The 6 constrained subscribers keep their only feasible broker.
+        assert (solution.assignment[:6] == tree.leaves[0]).all()
+
+    def test_greedy_filters_within_alpha(self, rng):
+        problem = clustered_problem(rng)
+        for algo in (online_greedy, offline_greedy):
+            solution = algo(problem)
+            alpha = problem.params.alpha
+            assert all(f.complexity <= alpha
+                       for f in solution.filters.values())
+
+
+class TestGreedyMultilevel:
+    def test_nesting_on_multilevel_tree(self, small_multilevel_problem):
+        for algo in (online_greedy, offline_greedy):
+            solution = algo(small_multilevel_problem)
+            report = solution.validate()
+            assert report.all_assigned
+            assert report.nesting_ok, f"{algo.__name__} broke nesting"
+
+    def test_bandwidth_accounts_internal_brokers(self, small_multilevel_problem):
+        solution = offline_greedy(small_multilevel_problem)
+        tree = small_multilevel_problem.tree
+        internal = [n for n in range(1, tree.num_nodes) if not tree.is_leaf(n)]
+        if internal:
+            assert any(not solution.filters[n].is_empty() for n in internal)

@@ -1,0 +1,117 @@
+"""Tests for flow-based subscriber assignment and the min-lbf search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import assign_by_flow, min_feasible_lbf
+
+
+def equal_kappas(n):
+    return np.full(n, 1.0 / n)
+
+
+class TestAssignByFlow:
+    def test_simple_feasible(self):
+        candidates = [np.array([0]), np.array([1]), np.array([0, 1])]
+        result = assign_by_flow(candidates, equal_kappas(2), 1.5, 2.0)
+        assert result.feasible
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+        assert result.assignment[2] in (0, 1)
+
+    def test_respects_capacities(self):
+        # 6 subscribers, 2 brokers, all flexible; beta=1 -> 3 each.
+        candidates = [np.array([0, 1])] * 6
+        result = assign_by_flow(candidates, equal_kappas(2), 1.0, 1.0)
+        assert result.feasible
+        loads = np.bincount(result.assignment, minlength=2)
+        assert loads.tolist() == [3, 3]
+
+    def test_escalation_needed(self):
+        # 4 subscribers forced to broker 0 out of 2: lbf must reach 2.
+        candidates = [np.array([0])] * 4
+        result = assign_by_flow(candidates, equal_kappas(2), 1.0, 2.5)
+        assert result.feasible
+        assert result.achieved_beta > 1.9
+
+    def test_infeasible_within_beta_max(self):
+        candidates = [np.array([0])] * 4
+        result = assign_by_flow(candidates, equal_kappas(2), 1.0, 1.5)
+        assert not result.feasible
+        assert len(result.unassigned) > 0
+
+    def test_empty_candidate_list_unassigned(self):
+        candidates = [np.array([], dtype=int), np.array([0])]
+        result = assign_by_flow(candidates, equal_kappas(1), 2.0, 2.0)
+        assert result.assignment[0] == -1
+        assert result.assignment[1] == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            assign_by_flow([], equal_kappas(2), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            assign_by_flow([], equal_kappas(2), 2.0, 1.0)
+        with pytest.raises(ValueError):
+            assign_by_flow([], equal_kappas(2), 1.0, 2.0, escalation_step=1.0)
+
+    @given(st.integers(0, 5000), st.integers(2, 5), st.integers(4, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_only_uses_candidates(self, seed, brokers, subs):
+        rng = np.random.default_rng(seed)
+        candidates = []
+        for _ in range(subs):
+            size = int(rng.integers(1, brokers + 1))
+            candidates.append(rng.choice(brokers, size=size, replace=False))
+        result = assign_by_flow(candidates, equal_kappas(brokers), 1.2, 3.0)
+        for j, assigned in enumerate(result.assignment):
+            if assigned >= 0:
+                assert assigned in candidates[j]
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_loads_within_escalated_caps(self, seed):
+        rng = np.random.default_rng(seed)
+        brokers, subs = 4, 20
+        candidates = [rng.choice(brokers, size=int(rng.integers(1, 5)),
+                                 replace=False) for _ in range(subs)]
+        result = assign_by_flow(candidates, equal_kappas(brokers), 1.1, 2.0)
+        loads = np.bincount(result.assignment[result.assignment >= 0],
+                            minlength=brokers)
+        caps = np.floor(result.achieved_beta * equal_kappas(brokers) * subs)
+        assert (loads <= caps).all()
+
+
+class TestMinFeasibleLbf:
+    def test_balanced_instance_lbf_one(self):
+        candidates = [np.array([0, 1])] * 10
+        result = min_feasible_lbf(candidates, equal_kappas(2))
+        assert result.feasible
+        # 5/5 split: lbf = 5 / (0.5 * 10) = 1.
+        loads = np.bincount(result.assignment, minlength=2)
+        assert max(loads) == 5
+
+    def test_forced_imbalance(self):
+        # 3 of 4 subscribers must use broker 0 -> min lbf = 3/(0.5*4) = 1.5.
+        candidates = [np.array([0]), np.array([0]), np.array([0]),
+                      np.array([0, 1])]
+        result = min_feasible_lbf(candidates, equal_kappas(2))
+        assert result.feasible
+        assert result.achieved_beta == pytest.approx(1.5, abs=0.01)
+
+    def test_infeasible_returns_flag(self):
+        candidates = [np.array([], dtype=int)]
+        result = min_feasible_lbf(candidates, equal_kappas(2), beta_hi=4.0)
+        assert not result.feasible
+
+    def test_lbf_at_most_any_feasible_beta(self):
+        rng = np.random.default_rng(7)
+        brokers, subs = 3, 15
+        candidates = [rng.choice(brokers, size=int(rng.integers(1, 4)),
+                                 replace=False) for _ in range(subs)]
+        probe = assign_by_flow(candidates, equal_kappas(brokers), 3.0, 3.0)
+        best = min_feasible_lbf(candidates, equal_kappas(brokers))
+        if probe.feasible:
+            assert best.feasible
+            assert best.achieved_beta <= 3.0 + 1e-6

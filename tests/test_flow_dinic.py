@@ -1,0 +1,153 @@
+"""Dinic max-flow tests, including a networkx oracle comparison."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import Dinic
+
+
+class TestDinicBasics:
+    def test_single_edge(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 7)
+        assert d.max_flow(0, 1) == 7
+
+    def test_classic_diamond(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 3)
+        d.add_edge(0, 2, 2)
+        d.add_edge(1, 2, 5)
+        d.add_edge(1, 3, 2)
+        d.add_edge(2, 3, 3)
+        assert d.max_flow(0, 3) == 5
+
+    def test_no_path(self):
+        d = Dinic(3)
+        d.add_edge(1, 2, 4)
+        assert d.max_flow(0, 2) == 0
+
+    def test_zero_capacity(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 0)
+        assert d.max_flow(0, 1) == 0
+
+    def test_parallel_edges(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 2)
+        d.add_edge(0, 1, 3)
+        assert d.max_flow(0, 1) == 5
+
+    def test_edge_flow_reporting(self):
+        d = Dinic(3)
+        e1 = d.add_edge(0, 1, 5)
+        e2 = d.add_edge(1, 2, 3)
+        assert d.max_flow(0, 2) == 3
+        assert d.edge_flow(e1) == 3
+        assert d.edge_flow(e2) == 3
+
+    def test_same_source_sink_rejected(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.max_flow(1, 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Dinic(1)
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -2)
+
+
+class TestIncrementalCapacity:
+    def test_raise_and_resume(self):
+        d = Dinic(3)
+        e = d.add_edge(0, 1, 1)
+        d.add_edge(1, 2, 10)
+        assert d.max_flow(0, 2) == 1
+        d.set_capacity(e, 6)
+        assert d.max_flow(0, 2) == 5  # additional flow only
+        assert d.edge_flow(e) == 6
+
+    def test_total_equals_fresh_solve(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            edges = [(int(rng.integers(0, 6)), int(rng.integers(0, 6)),
+                      int(rng.integers(1, 9))) for _ in range(12)]
+            inc = Dinic(6)
+            ids = [inc.add_edge(u, v, max(c // 2, 0)) for u, v, c in edges]
+            total = inc.max_flow(0, 5)
+            for eid, (u, v, c) in zip(ids, edges):
+                inc.set_capacity(eid, c)
+            total += inc.max_flow(0, 5)
+
+            fresh = Dinic(6)
+            for u, v, c in edges:
+                fresh.add_edge(u, v, c)
+            assert total == fresh.max_flow(0, 5)
+
+    def test_lower_below_flow_rejected(self):
+        d = Dinic(2)
+        e = d.add_edge(0, 1, 5)
+        d.max_flow(0, 1)
+        with pytest.raises(ValueError):
+            d.set_capacity(e, 2)
+
+
+@st.composite
+def random_graph(draw):
+    num_nodes = draw(st.integers(4, 10))
+    num_edges = draw(st.integers(3, 30))
+    edges = [
+        (draw(st.integers(0, num_nodes - 1)),
+         draw(st.integers(0, num_nodes - 1)),
+         draw(st.integers(0, 12)))
+        for _ in range(num_edges)
+    ]
+    return num_nodes, edges
+
+
+class TestAgainstNetworkx:
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, graph):
+        num_nodes, edges = graph
+        d = Dinic(num_nodes)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(num_nodes))
+        for u, v, c in edges:
+            if u == v:
+                continue
+            d.add_edge(u, v, c)
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(g, 0, num_nodes - 1)
+        assert d.max_flow(0, num_nodes - 1) == expected
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_flow_conservation(self, graph):
+        num_nodes, edges = graph
+        d = Dinic(num_nodes)
+        ids = []
+        for u, v, c in edges:
+            if u == v:
+                continue
+            ids.append((d.add_edge(u, v, c), u, v))
+        total = d.max_flow(0, num_nodes - 1)
+        net = np.zeros(num_nodes, dtype=int)
+        for eid, u, v in ids:
+            f = d.edge_flow(eid)
+            assert 0 <= f
+            net[u] -= f
+            net[v] += f
+        assert net[0] == -total
+        assert net[num_nodes - 1] == total
+        interior = [n for n in range(num_nodes) if n not in (0, num_nodes - 1)]
+        assert all(net[n] == 0 for n in interior)

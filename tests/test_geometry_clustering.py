@@ -1,0 +1,172 @@
+"""Tests for k-means and the alpha-MEB cover heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    RectSet,
+    alpha_meb_cover,
+    cluster_rects_to_mebs,
+    kmeans,
+    meb_of_points,
+    meb_of_rects,
+    meb_of_subset,
+)
+
+
+def two_blobs(rng, n=40, gap=100.0):
+    a = rng.normal(0, 1, size=(n // 2, 2))
+    b = rng.normal(gap, 1, size=(n - n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_obvious_blobs(self):
+        rng = np.random.default_rng(0)
+        points = two_blobs(rng)
+        labels, centers = kmeans(points, 2, rng)
+        first = labels[:20]
+        second = labels[20:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_k_capped_at_n(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(3, 2))
+        labels, centers = kmeans(points, 10, rng)
+        assert centers.shape[0] == 3
+        assert set(labels.tolist()) <= {0, 1, 2}
+
+    def test_every_cluster_non_empty(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(30, 3))
+        labels, _ = kmeans(points, 5, rng)
+        assert len(np.unique(labels)) == 5
+
+    def test_identical_points(self):
+        rng = np.random.default_rng(3)
+        points = np.ones((10, 2))
+        labels, _ = kmeans(points, 3, rng)
+        assert labels.shape == (10,)
+
+    def test_deterministic_given_rng_state(self):
+        points = np.random.default_rng(4).normal(size=(50, 2))
+        l1, c1 = kmeans(points, 4, np.random.default_rng(9))
+        l2, c2 = kmeans(points, 4, np.random.default_rng(9))
+        assert np.array_equal(l1, l2)
+        assert np.allclose(c1, c2)
+
+    def test_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2, rng)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0, rng)
+
+
+class TestMeb:
+    def test_meb_of_points(self):
+        points = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        meb = meb_of_points(points)
+        assert np.allclose(meb.lo, [0, 1])
+        assert np.allclose(meb.hi, [2, 5])
+
+    def test_meb_of_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            meb_of_points(np.empty((0, 2)))
+
+    def test_meb_of_rects(self):
+        rs = RectSet(np.array([[0.0, 0.0], [4.0, 4.0]]),
+                     np.array([[1.0, 1.0], [5.0, 6.0]]))
+        assert meb_of_rects(rs).as_tuple() == ((0, 0), (5, 6))
+
+    def test_meb_of_subset(self):
+        rs = RectSet(np.array([[0.0, 0.0], [4.0, 4.0]]),
+                     np.array([[1.0, 1.0], [5.0, 6.0]]))
+        meb = meb_of_subset(rs, np.array([False, True]))
+        assert meb.as_tuple() == ((4, 4), (5, 6))
+
+    def test_meb_of_subset_empty_mask_rejected(self):
+        rs = RectSet(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            meb_of_subset(rs, np.array([False, False]))
+
+
+class TestClusterRects:
+    def test_labels_align_with_mebs(self):
+        rng = np.random.default_rng(0)
+        centers = two_blobs(rng, n=20)
+        rs = RectSet(centers - 0.5, centers + 0.5)
+        mebs, labels = cluster_rects_to_mebs(rs, 2, rng)
+        assert len(mebs) == 2
+        for i in range(len(rs)):
+            assert mebs.rect(labels[i]).contains_rect(rs.rect(i))
+
+    def test_custom_features(self):
+        rng = np.random.default_rng(1)
+        rs = RectSet(np.zeros((6, 2)), np.ones((6, 2)))
+        features = np.array([[0.0], [0.0], [0.0], [9.0], [9.0], [9.0]])
+        _, labels = cluster_rects_to_mebs(rs, 2, rng, features=features)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_rects_to_mebs(RectSet.empty(2), 2,
+                                  np.random.default_rng(0))
+
+
+class TestAlphaMebCover:
+    def test_cover_contains_everything(self):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(0, 100, size=(30, 2))
+        rs = RectSet(centers - 1, centers + 1)
+        cover = alpha_meb_cover(rs, 3, rng)
+        assert len(cover) <= 3
+        matrix = cover.containment_matrix(rs)
+        assert matrix.any(axis=0).all()
+
+    def test_small_input_passthrough(self):
+        rng = np.random.default_rng(0)
+        rs = RectSet(np.zeros((2, 2)), np.ones((2, 2)))
+        cover = alpha_meb_cover(rs, 5, rng)
+        assert len(cover) == 2
+
+    def test_alpha_one_is_meb(self):
+        rng = np.random.default_rng(0)
+        rs = RectSet(np.array([[0.0, 0.0], [8.0, 8.0]]),
+                     np.array([[1.0, 1.0], [9.0, 9.0]]))
+        cover = alpha_meb_cover(rs, 1, rng)
+        assert len(cover) == 1
+        assert cover.rect(0) == rs.meb()
+
+    def test_separated_clusters_not_merged(self):
+        rng = np.random.default_rng(0)
+        centers = two_blobs(rng, n=20, gap=1000.0)
+        rs = RectSet(centers - 0.5, centers + 0.5)
+        cover = alpha_meb_cover(rs, 2, rng)
+        # Splitting the two far-apart blobs is vastly cheaper than one MEB.
+        assert cover.volumes().sum() < 0.01 * rs.meb().volume()
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        rs = RectSet(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            alpha_meb_cover(rs, 0, rng)
+        with pytest.raises(ValueError):
+            alpha_meb_cover(RectSet.empty(2), 2, rng)
+
+    @given(st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_cover_property(self, alpha, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(alpha, 20))
+        centers = rng.uniform(0, 50, size=(n, 2))
+        rs = RectSet(centers - 1, centers + 1)
+        cover = alpha_meb_cover(rs, alpha, rng)
+        assert len(cover) <= max(alpha, n)
+        assert cover.containment_matrix(rs).any(axis=0).all()

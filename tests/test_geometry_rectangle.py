@@ -1,0 +1,254 @@
+"""Unit and property tests for Rect and RectSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+
+
+def boxes(dim=2, max_coord=100.0):
+    """Strategy: a valid (lo, hi) pair in `dim` dimensions."""
+    coord = st.floats(min_value=-max_coord, max_value=max_coord,
+                      allow_nan=False, allow_infinity=False, width=32)
+    return st.tuples(
+        st.lists(coord, min_size=dim, max_size=dim),
+        st.lists(st.floats(min_value=0.0, max_value=max_coord,
+                           allow_nan=False, width=32),
+                 min_size=dim, max_size=dim),
+    ).map(lambda pair: Rect(np.array(pair[0]),
+                            np.array(pair[0]) + np.array(pair[1])))
+
+
+class TestRectConstruction:
+    def test_valid(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.dim == 2
+        assert r.volume() == 6.0
+
+    def test_degenerate_allowed(self):
+        r = Rect([1, 1], [1, 5])
+        assert r.volume() == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([2, 0], [1, 1])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1, 1])
+
+    def test_from_point(self):
+        r = Rect.from_point([3, 4])
+        assert r.volume() == 0.0
+        assert r.contains_point([3, 4])
+
+    def test_from_center(self):
+        r = Rect.from_center([5, 5], [2, 4])
+        assert np.allclose(r.lo, [4, 3])
+        assert np.allclose(r.hi, [6, 7])
+
+    def test_from_center_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center([0, 0], [-1, 1])
+
+    def test_immutability(self):
+        r = Rect([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            r.lo[0] = 5
+
+    def test_equality_and_hash(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([0.0, 0.0], [1.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rect([0, 0], [1, 2])
+
+
+class TestRectOperations:
+    def test_contains_point_boundary(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point([0, 0])
+        assert r.contains_point([1, 1])
+        assert not r.contains_point([1.0001, 0.5])
+
+    def test_contains_rect(self):
+        outer = Rect([0, 0], [10, 10])
+        inner = Rect([2, 2], [3, 3])
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects_and_intersection(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        assert a.intersects(b)
+        overlap = a.intersection(b)
+        assert overlap == Rect([1, 1], [2, 2])
+
+    def test_disjoint_intersection_none(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, 2], [3, 3])
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_touching_intersect(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([1, 0], [2, 1])
+        assert a.intersects(b)
+        assert a.intersection(b).volume() == 0.0
+
+    def test_union_is_meb(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([3, 3], [4, 5])
+        u = a.union(b)
+        assert u == Rect([0, 0], [4, 5])
+
+    def test_enlargement(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([3, 0], [4, 2])
+        assert a.enlargement(b) == pytest.approx(8.0 - 4.0)
+
+    def test_enlargement_contained_zero(self):
+        a = Rect([0, 0], [4, 4])
+        assert a.enlargement(Rect([1, 1], [2, 2])) == 0.0
+
+    def test_expand(self):
+        r = Rect([0, 0], [2, 4])
+        e = r.expand(0.5)
+        assert np.allclose(e.lo, [-0.5, -1.0])
+        assert np.allclose(e.hi, [2.5, 5.0])
+        assert e.volume() == pytest.approx(r.volume() * 1.5 ** 2)
+
+    def test_expand_zero_identity(self):
+        r = Rect([1, 2], [3, 4])
+        assert r.expand(0.0) == r
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1]).expand(-0.1)
+
+    @given(boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_expand_contains_original(self, r):
+        assert r.expand(0.3).contains_rect(r)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+
+class TestRectSet:
+    def make(self):
+        return RectSet(np.array([[0, 0], [1, 1], [5, 5]], dtype=float),
+                       np.array([[2, 2], [3, 3], [6, 7]], dtype=float))
+
+    def test_len_and_iter(self):
+        rs = self.make()
+        assert len(rs) == 3
+        assert [r.volume() for r in rs] == [4.0, 4.0, 2.0]
+
+    def test_empty(self):
+        rs = RectSet.empty(3)
+        assert len(rs) == 0
+        assert rs.dim == 3
+
+    def test_from_rects_roundtrip(self):
+        rects = [Rect([0, 0], [1, 1]), Rect([2, 2], [3, 4])]
+        rs = RectSet.from_rects(rects)
+        assert rs.rect(0) == rects[0]
+        assert rs.rect(1) == rects[1]
+
+    def test_from_rects_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RectSet.from_rects([])
+
+    def test_invalid_boxes_rejected(self):
+        with pytest.raises(ValueError):
+            RectSet(np.array([[1.0, 0.0]]), np.array([[0.0, 1.0]]))
+
+    def test_take(self):
+        rs = self.make()
+        sub = rs.take([2, 0])
+        assert len(sub) == 2
+        assert sub.rect(0) == rs.rect(2)
+
+    def test_volumes(self):
+        assert np.allclose(self.make().volumes(), [4.0, 4.0, 2.0])
+
+    def test_meb(self):
+        meb = self.make().meb()
+        assert meb == Rect([0, 0], [6, 7])
+
+    def test_meb_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RectSet.empty(2).meb()
+
+    def test_contains_rect_mask(self):
+        rs = self.make()
+        mask = rs.contains_rect(Rect([1.5, 1.5], [2, 2]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_contained_in_rect(self):
+        rs = self.make()
+        mask = rs.contained_in_rect(Rect([0, 0], [4, 4]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_containment_matrix(self):
+        outer = RectSet(np.array([[0.0, 0.0]]), np.array([[10.0, 10.0]]))
+        inner = self.make()
+        matrix = outer.containment_matrix(inner)
+        assert matrix.shape == (1, 3)
+        assert matrix[0].tolist() == [True, True, True]
+
+    def test_contains_points(self):
+        rs = self.make()
+        pts = np.array([[1.0, 1.0], [5.5, 6.0], [9.0, 9.0]])
+        matrix = rs.contains_points(pts)
+        assert matrix[:, 0].tolist() == [True, True, False]
+        assert matrix[:, 1].tolist() == [False, False, True]
+        assert matrix[:, 2].tolist() == [False, False, False]
+
+    def test_expand_matches_rect_expand(self):
+        rs = self.make()
+        expanded = rs.expand(0.4)
+        for i in range(len(rs)):
+            assert expanded.rect(i) == rs.rect(i).expand(0.4)
+
+    def test_shrink_to_contents(self):
+        container = RectSet(np.array([[0.0, 0.0]]), np.array([[10.0, 10.0]]))
+        contents = RectSet(np.array([[1.0, 2.0], [3.0, 3.0]]),
+                           np.array([[2.0, 3.0], [4.0, 5.0]]))
+        shrunk = container.shrink_to_contents(contents)
+        assert shrunk.rect(0) == Rect([1, 2], [4, 5])
+
+    def test_shrink_without_contents_unchanged(self):
+        container = RectSet(np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]]))
+        far = RectSet(np.array([[5.0, 5.0]]), np.array([[6.0, 6.0]]))
+        shrunk = container.shrink_to_contents(far)
+        assert shrunk.rect(0) == container.rect(0)
+
+    def test_dedupe(self):
+        rs = RectSet(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]]),
+                     np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]))
+        assert len(rs.dedupe()) == 2
+
+    def test_concat(self):
+        a = self.make()
+        b = RectSet(np.array([[8.0, 8.0]]), np.array([[9.0, 9.0]]))
+        merged = a.concat(b)
+        assert len(merged) == 4
+        assert merged.rect(3) == Rect([8, 8], [9, 9])
+
+    def test_concat_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            self.make().concat(RectSet.empty(3))

@@ -1,0 +1,123 @@
+"""Tests for exact union volumes and measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rect,
+    RectSet,
+    coverage_fraction,
+    sum_volume,
+    union_measure,
+    union_volume,
+    union_volume_monte_carlo,
+)
+
+
+def random_rectset(rng, n, dim=2, extent=10.0):
+    lo = rng.uniform(0, extent * 0.8, size=(n, dim))
+    hi = lo + rng.uniform(0, extent * 0.4, size=(n, dim))
+    return RectSet(lo, hi)
+
+
+class TestUnionVolume:
+    def test_empty(self):
+        assert union_volume(RectSet.empty(2)) == 0.0
+
+    def test_single(self):
+        rs = RectSet(np.array([[0.0, 0.0]]), np.array([[2.0, 3.0]]))
+        assert union_volume(rs) == 6.0
+
+    def test_disjoint_sum(self):
+        rs = RectSet(np.array([[0.0, 0.0], [5.0, 5.0]]),
+                     np.array([[1.0, 1.0], [7.0, 7.0]]))
+        assert union_volume(rs) == pytest.approx(1.0 + 4.0)
+
+    def test_nested_inner_ignored(self):
+        rs = RectSet(np.array([[0.0, 0.0], [1.0, 1.0]]),
+                     np.array([[4.0, 4.0], [2.0, 2.0]]))
+        assert union_volume(rs) == pytest.approx(16.0)
+
+    def test_partial_overlap(self):
+        # Two unit squares overlapping in a 0.5 x 1 strip.
+        rs = RectSet(np.array([[0.0, 0.0], [0.5, 0.0]]),
+                     np.array([[1.0, 1.0], [1.5, 1.0]]))
+        assert union_volume(rs) == pytest.approx(1.5)
+
+    def test_identical_duplicates(self):
+        rs = RectSet(np.zeros((3, 2)), np.ones((3, 2)))
+        assert union_volume(rs) == pytest.approx(1.0)
+
+    def test_degenerate_zero(self):
+        rs = RectSet(np.array([[0.0, 0.0]]), np.array([[0.0, 5.0]]))
+        assert union_volume(rs) == 0.0
+
+    def test_three_dimensional(self):
+        rs = RectSet(np.array([[0.0, 0, 0], [0.5, 0, 0]]),
+                     np.array([[1.0, 1, 1], [1.5, 1, 1]]))
+        assert union_volume(rs) == pytest.approx(1.5)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        rs = random_rectset(rng, 6)
+        exact = union_volume(rs)
+        estimate = union_volume_monte_carlo(rs, rng, samples=200_000)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_union_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        rs = random_rectset(rng, n)
+        union = union_volume(rs)
+        assert union <= sum_volume(rs) + 1e-9
+        assert union >= rs.volumes().max() - 1e-9
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_union_monotone_under_concat(self, n, seed):
+        rng = np.random.default_rng(seed)
+        rs = random_rectset(rng, n)
+        extra = random_rectset(rng, 1)
+        assert union_volume(rs.concat(extra)) >= union_volume(rs) - 1e-9
+
+
+class TestUnionMeasure:
+    def test_lebesgue_agreement(self):
+        rng = np.random.default_rng(3)
+        rs = random_rectset(rng, 5)
+        lebesgue = union_measure(rs, lambda axis, a, b: b - a)
+        assert lebesgue == pytest.approx(union_volume(rs))
+
+    def test_weighted_axis(self):
+        # Double weight on x in [0, 1): a unit square there counts twice.
+        rs = RectSet(np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]]))
+
+        def measure(axis, a, b):
+            if axis == 0:
+                return 2.0 * (b - a)
+            return b - a
+
+        assert union_measure(rs, measure) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert union_measure(RectSet.empty(2), lambda *a: 1.0) == 0.0
+
+
+class TestCoverageFraction:
+    def test_full_cover(self):
+        domain = Rect([0, 0], [10, 10])
+        rs = RectSet(np.array([[-1.0, -1.0]]), np.array([[11.0, 11.0]]))
+        assert coverage_fraction(rs, domain) == pytest.approx(1.0)
+
+    def test_half_cover(self):
+        domain = Rect([0, 0], [10, 10])
+        rs = RectSet(np.array([[0.0, 0.0]]), np.array([[5.0, 10.0]]))
+        assert coverage_fraction(rs, domain) == pytest.approx(0.5)
+
+    def test_outside_zero(self):
+        domain = Rect([0, 0], [10, 10])
+        rs = RectSet(np.array([[20.0, 20.0]]), np.array([[30.0, 30.0]]))
+        assert coverage_fraction(rs, domain) == 0.0

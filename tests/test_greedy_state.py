@@ -1,0 +1,127 @@
+"""Focused tests for the incremental greedy filter state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SAParameters, SAProblem, build_one_level_tree
+from repro.core.greedy import _TreeFilterState
+from repro.geometry import Rect, RectSet
+from repro.pubsub import Filter
+
+
+def one_level_state(alpha=2, brokers=3, m=10, seed=0):
+    rng = np.random.default_rng(seed)
+    tree = build_one_level_tree(np.zeros(2), rng.uniform(size=(brokers, 2)))
+    points = rng.uniform(size=(m, 2))
+    centers = rng.uniform(0, 100, size=(m, 2))
+    half = rng.uniform(0.5, 5, size=(m, 2))
+    subs = RectSet(centers - half, centers + half)
+    params = SAParameters(alpha=alpha, max_delay=5.0, beta=3.0, beta_max=4.0)
+    problem = SAProblem(tree, points, subs, params)
+    return problem, _TreeFilterState(problem)
+
+
+class TestCommitSemantics:
+    def test_first_commit_opens_slot(self):
+        problem, state = one_level_state()
+        state.commit(0, problem.subscriptions.lo[0],
+                     problem.subscriptions.hi[0])
+        node = int(problem.tree.leaves[0])
+        assert state.count[node] == 1
+        assert np.allclose(state.lo[node, 0], problem.subscriptions.lo[0])
+
+    def test_contained_commit_is_noop(self):
+        problem, state = one_level_state()
+        big_lo = np.array([0.0, 0.0])
+        big_hi = np.array([200.0, 200.0])
+        state.commit(0, big_lo, big_hi)
+        node = int(problem.tree.leaves[0])
+        before_lo = state.lo[node].copy()
+        state.commit(0, np.array([10.0, 10.0]), np.array([20.0, 20.0]))
+        assert state.count[node] == 1
+        assert np.array_equal(state.lo[node], before_lo)
+
+    def test_alpha_slots_then_merge(self):
+        problem, state = one_level_state(alpha=2)
+        node = int(problem.tree.leaves[0])
+        # Two far-apart rects open two slots.
+        state.commit(0, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        state.commit(0, np.array([50.0, 50.0]), np.array([51.0, 51.0]))
+        assert state.count[node] == 2
+        # A third rect must merge into one of them (alpha = 2).
+        state.commit(0, np.array([100.0, 100.0]), np.array([101.0, 101.0]))
+        assert state.count[node] == 2
+
+    def test_path_costs_zero_for_contained(self):
+        problem, state = one_level_state()
+        state.commit(0, np.array([0.0, 0.0]), np.array([100.0, 100.0]))
+        costs = state.path_costs(np.array([0]), np.array([10.0, 10.0]),
+                                 np.array([20.0, 20.0]))
+        assert costs[0] == 0.0
+
+    def test_path_costs_new_slot_is_volume(self):
+        problem, state = one_level_state(alpha=2)
+        state.commit(0, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        costs = state.path_costs(np.array([0]), np.array([50.0, 50.0]),
+                                 np.array([52.0, 54.0]))
+        assert costs[0] == pytest.approx(2.0 * 4.0)
+
+    @given(st.integers(0, 1000), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_costs_nonnegative_property(self, seed, alpha):
+        problem, state = one_level_state(alpha=alpha, seed=seed)
+        rng = np.random.default_rng(seed)
+        rows = np.arange(problem.num_leaf_brokers)
+        for j in range(problem.num_subscribers):
+            costs = state.path_costs(rows, problem.subscriptions.lo[j],
+                                     problem.subscriptions.hi[j])
+            assert (costs >= -1e-12).all()
+            pick = int(rng.integers(len(rows)))
+            state.commit(pick, problem.subscriptions.lo[j],
+                         problem.subscriptions.hi[j])
+
+
+class TestLoadFilters:
+    def test_roundtrip(self):
+        problem, state = one_level_state(alpha=2)
+        filters = {
+            int(problem.tree.leaves[0]): Filter.from_rects(
+                [Rect([0, 0], [1, 1]), Rect([5, 5], [6, 6])]),
+            int(problem.tree.leaves[1]): Filter.from_rects(
+                [Rect([2, 2], [3, 3])]),
+            int(problem.tree.leaves[2]): Filter.empty(2),
+        }
+        state.load_filters(filters)
+        out = state.to_filters(2)
+        for node, expected in filters.items():
+            got = out[node]
+            assert got.complexity == expected.complexity
+            for i in range(expected.complexity):
+                assert got.rects.rect(i) == expected.rects.rect(i)
+
+    def test_truncates_to_alpha(self):
+        problem, state = one_level_state(alpha=2)
+        node = int(problem.tree.leaves[0])
+        oversized = Filter(RectSet(np.zeros((4, 2)),
+                                   np.ones((4, 2)) * np.arange(1, 5)[:, None]))
+        state.load_filters({node: oversized})
+        assert state.count[node] == 2
+
+    def test_resets_previous_state(self):
+        problem, state = one_level_state()
+        state.commit(0, np.zeros(2), np.ones(2))
+        node0 = int(problem.tree.leaves[0])
+        state.load_filters({node0: Filter.empty(2)})
+        assert state.count[node0] == 0
+        assert state.to_filters(2)[node0].is_empty()
+
+    def test_subsequent_commits_grow_loaded_filters(self):
+        problem, state = one_level_state(alpha=1)
+        node = int(problem.tree.leaves[0])
+        state.load_filters({node: Filter.from_rects([Rect([0, 0], [10, 10])])})
+        state.commit(0, np.array([5.0, 5.0]), np.array([20.0, 20.0]))
+        out = state.to_filters(2)[node]
+        assert out.complexity == 1
+        assert out.rects.rect(0) == Rect([0, 0], [20, 20])

@@ -1,0 +1,151 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+These are the shape checks the reproduction lives or dies by: who wins,
+who fails which constraint, and by roughly what kind of margin — at
+laptop scale (see EXPERIMENTS.md for the quantitative runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GoogleGroupsConfig,
+    balance_assignment,
+    closest_broker,
+    generate_clustered_shuffle,
+    generate_google_groups,
+    offline_greedy,
+    one_level_problem,
+    online_greedy,
+    slp1,
+)
+from repro.metrics import evaluate_solution, rms_delay
+
+
+@pytest.fixture(scope="module")
+def wl1_problem():
+    config = GoogleGroupsConfig(num_subscribers=800, num_brokers=10,
+                                interest_skew="H", broad_interests="L")
+    return one_level_problem(generate_google_groups(seed=21, config=config))
+
+
+@pytest.fixture(scope="module")
+def wl1_runs(wl1_problem):
+    return {
+        "SLP1": slp1(wl1_problem, seed=1),
+        "Gr": online_greedy(wl1_problem),
+        "Gr*": offline_greedy(wl1_problem),
+        "Gr-no-latency": online_greedy(wl1_problem, respect_latency=False),
+        "Closest-no-balance": closest_broker(wl1_problem,
+                                             enforce_load_cap=False),
+        "Closest": closest_broker(wl1_problem, enforce_load_cap=True),
+        "Balance": balance_assignment(wl1_problem),
+    }
+
+
+@pytest.fixture(scope="module")
+def wl1_reports(wl1_runs):
+    return {name: evaluate_solution(name, sol)
+            for name, sol in wl1_runs.items()}
+
+
+class TestFigure6Claims:
+    """Section VI, Figure 6: the one-level overall comparison."""
+
+    def test_event_space_blind_algorithms_waste_bandwidth(self, wl1_reports):
+        """Closest / Closest¬b / Balance incur huge bandwidth."""
+        good = max(wl1_reports["SLP1"].bandwidth,
+                   wl1_reports["Gr*"].bandwidth)
+        for name in ("Closest", "Closest-no-balance", "Balance"):
+            assert wl1_reports[name].bandwidth > 1.5 * good, name
+
+    def test_latency_blind_greedy_bandwidth_too_good(self, wl1_reports):
+        """Gr¬l's bandwidth is 'too good to be true' as a yardstick."""
+        assert wl1_reports["Gr-no-latency"].bandwidth \
+            <= wl1_reports["Gr*"].bandwidth * 1.05
+
+    def test_latency_blind_greedy_violates_delay(self, wl1_problem, wl1_runs):
+        delays = wl1_problem.delays(wl1_runs["Gr-no-latency"].assignment)
+        assert (delays > wl1_problem.params.max_delay + 1e-6).any()
+
+    def test_constraint_respecting_algorithms_bound_delay(self, wl1_problem,
+                                                          wl1_runs):
+        bound = wl1_problem.params.max_delay + 1e-6
+        for name in ("SLP1", "Gr", "Gr*", "Balance", "Closest"):
+            delays = wl1_problem.delays(wl1_runs[name].assignment)
+            assert (delays <= bound).all(), name
+
+    def test_slp1_and_gr_star_within_load_caps(self, wl1_problem, wl1_runs):
+        cap = wl1_problem.params.beta_max + 1e-6
+        for name in ("SLP1", "Gr*"):
+            lbf = wl1_problem.load_balance_factor(wl1_runs[name].assignment)
+            assert lbf <= cap, name
+
+    def test_balance_has_best_lbf(self, wl1_problem, wl1_runs):
+        balance_lbf = wl1_problem.load_balance_factor(
+            wl1_runs["Balance"].assignment)
+        for name in ("SLP1", "Gr", "Gr*"):
+            assert balance_lbf <= wl1_problem.load_balance_factor(
+                wl1_runs[name].assignment) + 1e-9
+
+    def test_closest_minimizes_delay(self, wl1_problem, wl1_runs):
+        closest = rms_delay(wl1_problem,
+                            wl1_runs["Closest-no-balance"].assignment)
+        for name in ("SLP1", "Gr", "Gr*"):
+            assert closest <= rms_delay(
+                wl1_problem, wl1_runs[name].assignment) + 1e-9
+
+
+class TestTable1Claims:
+    """Table I: the LP fractional solution is a meaningful lower bound."""
+
+    def test_fractional_below_all_integral_solutions(self, wl1_reports):
+        fractional = wl1_reports["SLP1"].fractional_bandwidth
+        assert fractional is not None
+        for name in ("SLP1", "Gr", "Gr*"):
+            assert fractional <= wl1_reports[name].bandwidth * 1.001, name
+
+    def test_fractional_more_meaningful_than_gr_no_latency(self, wl1_reports):
+        """Gr¬l's bandwidth is far below the fractional bound territory —
+        exactly why the paper calls it a useless yardstick."""
+        fractional = wl1_reports["SLP1"].fractional_bandwidth
+        assert wl1_reports["Gr-no-latency"].bandwidth < \
+            wl1_reports["Gr*"].bandwidth
+        assert fractional > 0
+
+    def test_slp1_within_small_factor_of_fractional(self, wl1_reports):
+        ratio = (wl1_reports["SLP1"].bandwidth
+                 / wl1_reports["SLP1"].fractional_bandwidth)
+        assert ratio < 8.0  # paper: 1.3-2.7 at 100k subscribers
+
+
+class TestAdversarialClaim:
+    """Section VI discussion: instances where Gr* loses to SLP by a lot."""
+
+    def test_gr_star_much_worse_than_slp1(self):
+        workload = generate_clustered_shuffle(seed=5, num_clusters=6,
+                                              subscribers_per_cluster=30)
+        problem = one_level_problem(workload, alpha=1, max_delay=5.0,
+                                    beta=1.0, beta_max=1.0)
+        gr_star = evaluate_solution("Gr*", offline_greedy(problem))
+        slp_run = evaluate_solution("SLP1", slp1(problem, seed=2))
+        assert slp_run.bandwidth * 3 < gr_star.bandwidth, (
+            f"SLP1 {slp_run.bandwidth:.0f} vs Gr* {gr_star.bandwidth:.0f}")
+
+
+class TestGrStarVsGr:
+    """Section III: Gr* balances load better than Gr under pressure."""
+
+    def test_gr_star_load_not_worse(self):
+        lbf_gr, lbf_star = [], []
+        for seed in (31, 32, 33):
+            config = GoogleGroupsConfig(num_subscribers=500, num_brokers=8,
+                                        interest_skew="H",
+                                        broad_interests="H")
+            problem = one_level_problem(
+                generate_google_groups(seed=seed, config=config))
+            lbf_gr.append(problem.load_balance_factor(
+                online_greedy(problem).assignment))
+            lbf_star.append(problem.load_balance_factor(
+                offline_greedy(problem).assignment))
+        assert np.mean(lbf_star) <= np.mean(lbf_gr) + 1e-9

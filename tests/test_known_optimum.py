@@ -1,0 +1,67 @@
+"""Instances with a known optimal solution: absolute quality checks.
+
+On the clustered-shuffle family the optimum is computable exactly — one
+cluster per broker, total bandwidth = sum of per-cluster MEB volumes —
+which lets us measure each algorithm's *absolute* approximation factor
+rather than only comparing algorithms to each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro import generate_clustered_shuffle, one_level_problem, slp1
+from repro.core import offline_greedy, online_greedy
+from repro.geometry import meb_of_subset
+from repro.metrics import total_bandwidth
+
+
+@pytest.fixture(scope="module")
+def instance():
+    workload = generate_clustered_shuffle(seed=5, num_clusters=6,
+                                          subscribers_per_cluster=30)
+    problem = one_level_problem(workload, alpha=1, max_delay=5.0,
+                                beta=1.0, beta_max=1.0)
+    cluster_of = workload.metadata["cluster_of"]
+    optimum = sum(
+        meb_of_subset(workload.subscriptions, cluster_of == c).volume()
+        for c in range(6))
+    return workload, problem, float(optimum)
+
+
+class TestKnownOptimum:
+    def test_optimum_is_positive_and_small(self, instance):
+        workload, _problem, optimum = instance
+        # The clusters are small relative to the domain.
+        assert 0 < optimum < 0.05 * workload.event_domain.volume()
+
+    def test_slp1_close_to_optimum(self, instance):
+        _workload, problem, optimum = instance
+        solution = slp1(problem, seed=2)
+        bandwidth = total_bandwidth(solution.filters)
+        assert bandwidth <= 60 * optimum  # within a moderate factor
+
+    def test_greedy_far_from_optimum(self, instance):
+        """Greedy's myopia on shuffled clusters costs orders of magnitude
+        against the true optimum (the paper's motivation for a yardstick)."""
+        _workload, problem, optimum = instance
+        for algo in (online_greedy, offline_greedy):
+            bandwidth = total_bandwidth(algo(problem).filters)
+            assert bandwidth > 20 * optimum, algo.__name__
+
+    def test_oracle_assignment_achieves_optimum(self, instance):
+        """Assigning each cluster to its own broker reproduces the optimum
+        exactly (sanity check of the bandwidth accounting)."""
+        workload, problem, optimum = instance
+        cluster_of = workload.metadata["cluster_of"]
+        assignment = problem.tree.leaves[cluster_of]
+        from repro import filters_from_assignment
+        filters = filters_from_assignment(problem, assignment,
+                                          np.random.default_rng(0))
+        assert total_bandwidth(filters) == pytest.approx(optimum, rel=1e-9)
+
+    def test_fractional_bound_below_slp1(self, instance):
+        _workload, problem, _optimum = instance
+        solution = slp1(problem, seed=2)
+        if solution.fractional_bandwidth is not None:
+            assert solution.fractional_bandwidth \
+                <= total_bandwidth(solution.filters) * 1.5

@@ -1,0 +1,147 @@
+"""Tests for bandwidth, delay, and load metrics plus reports."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SAParameters,
+    SAProblem,
+    UniformEvents,
+    build_one_level_tree,
+    evaluate_solution,
+    filters_from_assignment,
+    total_bandwidth,
+)
+from repro.core.problem import SASolution
+from repro.geometry import Rect, RectSet
+from repro.metrics import (
+    broker_bandwidths,
+    delay_scatter,
+    load_boxplot,
+    load_cdf,
+    load_stdev,
+    max_delay,
+    overloaded_fraction,
+    rms_delay,
+)
+from repro.pubsub import Filter
+
+
+def make_problem():
+    tree = build_one_level_tree(np.zeros(2),
+                                np.array([[1.0, 0.0], [2.0, 0.0]]))
+    points = np.array([[1.0, 0.0], [1.5, 0.0], [2.0, 0.0], [2.5, 0.0]])
+    subs = RectSet(np.zeros((4, 2)), np.ones((4, 2)) * np.arange(1, 5)[:, None])
+    params = SAParameters(max_delay=1.0, beta=1.5, beta_max=2.0)
+    return SAProblem(tree, points, subs, params)
+
+
+class TestBandwidth:
+    def test_total_is_sum_of_union_volumes(self):
+        filters = {
+            1: Filter.from_rects([Rect([0, 0], [2, 2]), Rect([1, 0], [3, 2])]),
+            2: Filter.from_rects([Rect([0, 0], [1, 1])]),
+        }
+        assert total_bandwidth(filters) == pytest.approx(6.0 + 1.0)
+
+    def test_empty_filters_zero(self):
+        filters = {1: Filter.empty(2)}
+        assert total_bandwidth(filters) == 0.0
+
+    def test_per_broker(self):
+        filters = {1: Filter.from_rects([Rect([0, 0], [2, 3])]),
+                   2: Filter.empty(2)}
+        per = broker_bandwidths(filters)
+        assert per[1] == pytest.approx(6.0)
+        assert per[2] == 0.0
+
+    def test_with_distribution(self):
+        dist = UniformEvents(Rect([0, 0], [10, 10]))
+        filters = {1: Filter.from_rects([Rect([0, 0], [5, 10])])}
+        assert total_bandwidth(filters, dist) == pytest.approx(50.0)
+
+
+class TestDelayMetrics:
+    def test_rms_zero_for_best_assignment(self):
+        problem = make_problem()
+        best_rows = problem.leaf_latency.argmin(axis=0)
+        assignment = problem.tree.leaves[best_rows]
+        assert rms_delay(problem, assignment) == pytest.approx(0.0)
+
+    def test_rms_and_max_for_detours(self):
+        problem = make_problem()
+        worst_rows = problem.leaf_latency.argmax(axis=0)
+        assignment = problem.tree.leaves[worst_rows]
+        assert rms_delay(problem, assignment) > 0
+        assert max_delay(problem, assignment) >= rms_delay(problem, assignment)
+
+    def test_unassigned_all_inf(self):
+        problem = make_problem()
+        assignment = np.full(4, -1)
+        assert rms_delay(problem, assignment) == np.inf
+
+    def test_scatter_shape(self):
+        problem = make_problem()
+        assignment = problem.tree.leaves[
+            problem.leaf_latency.argmin(axis=0)]
+        scatter = delay_scatter(problem, assignment)
+        assert scatter.shape == (4, 2)
+        assert np.allclose(scatter[:, 0], problem.shortest_latency)
+
+
+class TestLoadMetrics:
+    def test_stdev(self):
+        problem = make_problem()
+        leaves = problem.tree.leaves
+        assignment = np.array([leaves[0]] * 4)
+        assert load_stdev(problem, assignment) == pytest.approx(2.0)
+
+    def test_boxplot_stats(self):
+        problem = make_problem()
+        leaves = problem.tree.leaves
+        assignment = np.array([leaves[0], leaves[0], leaves[0], leaves[1]])
+        stats = load_boxplot(problem, assignment)
+        assert stats.minimum == 1
+        assert stats.maximum == 3
+        assert stats.desired_cap == pytest.approx(1.5 * 0.5 * 4)
+        assert stats.maximum_cap == pytest.approx(2.0 * 0.5 * 4)
+
+    def test_cdf_monotone(self):
+        problem = make_problem()
+        leaves = problem.tree.leaves
+        assignment = np.array([leaves[0], leaves[1], leaves[1], leaves[1]])
+        cdf = load_cdf(problem, assignment)
+        assert (np.diff(cdf[:, 0]) >= 0).all()
+        assert cdf[-1, 1] == pytest.approx(1.0)
+
+    def test_overloaded_fraction(self):
+        problem = make_problem()  # caps at beta_max: 2 * 0.5 * 4 = 4
+        leaves = problem.tree.leaves
+        balanced = np.array([leaves[0], leaves[0], leaves[1], leaves[1]])
+        assert overloaded_fraction(problem, balanced) == 0.0
+        # Pile 5 subscribers onto one broker via a bigger instance.
+        skewed = np.array([leaves[0]] * 4)
+        assert overloaded_fraction(problem, skewed) == 0.0  # 4 <= 4
+        problem2 = make_problem()
+        problem2.params = SAParameters(max_delay=1.0, beta=1.0,
+                                       beta_max=1.0)
+        assert overloaded_fraction(problem2, skewed) == pytest.approx(0.5)
+
+
+class TestSolutionReport:
+    def test_evaluate_end_to_end(self):
+        problem = make_problem()
+        rows = problem.leaf_latency.argmin(axis=0)
+        assignment = problem.tree.leaves[rows]
+        filters = filters_from_assignment(problem, assignment,
+                                          np.random.default_rng(0))
+        solution = SASolution(problem, assignment, filters,
+                              fractional_bandwidth=1.0)
+        report = evaluate_solution("test", solution, runtime_seconds=0.5)
+        assert report.algorithm == "test"
+        assert report.bandwidth > 0
+        assert report.fractional_bandwidth == 1.0
+        assert report.runtime_seconds == 0.5
+        row = report.as_row()
+        assert row["algorithm"] == "test"
+        assert "bandwidth" in row

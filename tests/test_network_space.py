@@ -1,0 +1,92 @@
+"""Tests for the network (latency) space helpers and embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    Region,
+    RegionModel,
+    default_world_regions,
+    distance,
+    distances_from_point,
+    pairwise_distances,
+)
+
+
+class TestDistances:
+    def test_distance(self):
+        assert distance(np.array([0, 0]), np.array([3, 4])) == pytest.approx(5.0)
+
+    def test_distances_from_point(self):
+        points = np.array([[3.0, 4.0], [0.0, 0.0], [6.0, 8.0]])
+        d = distances_from_point(np.zeros(2), points)
+        assert np.allclose(d, [5, 0, 10])
+
+    def test_pairwise_matches_naive(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 5))
+        b = rng.normal(size=(7, 5))
+        fast = pairwise_distances(a, b)
+        naive = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        assert np.allclose(fast, naive)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pairwise_non_negative_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(scale=100, size=(6, 4))
+        matrix = pairwise_distances(a, a)
+        assert (matrix >= 0).all()
+        assert np.allclose(matrix, matrix.T, atol=1e-6)
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-5)
+
+
+class TestRegionModel:
+    def test_default_world_shape(self):
+        model = default_world_regions()
+        assert model.dim == 5
+        assert len(model.regions) == 3
+        assert model.weights == (4.0, 1.0, 4.0)
+
+    def test_sample_ratio(self):
+        model = default_world_regions()
+        rng = np.random.default_rng(0)
+        picks = model.region_index(rng, 90_000)
+        counts = np.bincount(picks, minlength=3) / 90_000
+        assert counts[0] == pytest.approx(4 / 9, abs=0.01)
+        assert counts[1] == pytest.approx(1 / 9, abs=0.01)
+        assert counts[2] == pytest.approx(4 / 9, abs=0.01)
+
+    def test_intra_vs_inter_region_distances(self):
+        model = default_world_regions()
+        rng = np.random.default_rng(1)
+        asia = model.sample_region(rng, "asia", 50)
+        europe = model.sample_region(rng, "europe", 50)
+        intra = pairwise_distances(asia, asia).mean()
+        inter = pairwise_distances(asia, europe).mean()
+        assert inter > 3 * intra
+
+    def test_sample_shapes(self):
+        model = default_world_regions()
+        points = model.sample(np.random.default_rng(2), 25)
+        assert points.shape == (25, 5)
+
+    def test_unknown_region(self):
+        model = default_world_regions()
+        with pytest.raises(KeyError):
+            model.sample_region(np.random.default_rng(0), "atlantis", 1)
+
+    def test_bad_weights_rejected(self):
+        region = Region("x", (0.0, 0.0), 1.0)
+        with pytest.raises(ValueError):
+            RegionModel((region,), (-1.0,))
+        with pytest.raises(ValueError):
+            RegionModel((), ())
+
+    def test_region_sample_spread(self):
+        region = Region("x", (10.0, 20.0), 0.5)
+        points = region.sample(np.random.default_rng(0), 1000)
+        assert np.allclose(points.mean(axis=0), [10, 20], atol=0.1)
+        assert np.allclose(points.std(axis=0), 0.5, atol=0.05)

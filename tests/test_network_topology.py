@@ -1,0 +1,107 @@
+"""Tests for the joint topology optimization extension."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GoogleGroupsConfig,
+    SAParameters,
+    generate_google_groups,
+    offline_greedy,
+)
+from repro.network import BrokerTree, build_hierarchical_tree
+from repro.network.topology import optimize_topology, reattach
+
+
+def simple_tree():
+    """pub(0) -> 1 -> 2, pub -> 3."""
+    positions = np.array([[0.0, 0], [1.0, 0], [2.0, 0], [0.0, 1]])
+    parents = np.array([-1, 0, 1, 0])
+    return BrokerTree(positions, parents)
+
+
+class TestReattach:
+    def test_basic_move(self):
+        tree = simple_tree()
+        moved = reattach(tree, 2, 3)
+        assert moved is not None
+        assert int(moved.parents[2]) == 3
+        assert moved.num_brokers == 3
+
+    def test_cannot_move_publisher(self):
+        assert reattach(simple_tree(), 0, 1) is None
+
+    def test_cannot_attach_to_self(self):
+        assert reattach(simple_tree(), 1, 1) is None
+
+    def test_cannot_attach_to_descendant(self):
+        assert reattach(simple_tree(), 1, 2) is None
+
+    def test_noop_rejected(self):
+        assert reattach(simple_tree(), 2, 1) is None
+
+    def test_move_changes_leaf_set(self):
+        tree = simple_tree()
+        moved = reattach(tree, 2, 3)
+        # Node 1 becomes a leaf; node 3 becomes internal.
+        assert moved.is_leaf(1)
+        assert not moved.is_leaf(3)
+
+
+class TestOptimizeTopology:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        config = GoogleGroupsConfig(num_subscribers=250, num_brokers=12,
+                                    interest_skew="H", broad_interests="L")
+        workload = generate_google_groups(seed=6, config=config)
+        rng = np.random.default_rng(0)
+        tree = build_hierarchical_tree(workload.publisher,
+                                       workload.broker_points, 4, rng)
+        params = SAParameters(alpha=3, max_delay=0.6, beta=2.0,
+                              beta_max=2.5)
+        return workload, tree, params
+
+    def test_never_worse_than_initial(self, instance):
+        workload, tree, params = instance
+        result = optimize_topology(
+            tree, workload.subscriber_points, workload.subscriptions,
+            params, offline_greedy, move_budget=15, seed=1)
+        assert result.objective <= result.initial_objective + 1e-9
+        assert result.moves_tried <= 15
+
+    def test_history_monotone(self, instance):
+        workload, tree, params = instance
+        result = optimize_topology(
+            tree, workload.subscriber_points, workload.subscriptions,
+            params, offline_greedy, move_budget=12, seed=2)
+        assert all(b <= a + 1e-9 for a, b in zip(result.history,
+                                                 result.history[1:]))
+
+    def test_final_solution_valid(self, instance):
+        workload, tree, params = instance
+        result = optimize_topology(
+            tree, workload.subscriber_points, workload.subscriptions,
+            params, offline_greedy, move_budget=10, seed=3)
+        report = result.solution.validate()
+        assert report.all_assigned
+        assert report.nesting_ok
+
+    def test_respects_out_degree(self, instance):
+        workload, tree, params = instance
+        result = optimize_topology(
+            tree, workload.subscriber_points, workload.subscriptions,
+            params, offline_greedy, move_budget=25, seed=4,
+            max_out_degree=4)
+        final = result.tree
+        # The publisher's degree may exceed the bound only if it already
+        # did initially; moves themselves respect it.
+        for node in range(1, final.num_nodes):
+            if len(tree.children(node)) <= 4:
+                assert len(final.children(node)) <= 4
+
+    def test_improvement_metric(self, instance):
+        workload, tree, params = instance
+        result = optimize_topology(
+            tree, workload.subscriber_points, workload.subscriptions,
+            params, offline_greedy, move_budget=20, seed=5)
+        assert 0.0 <= result.improvement <= 1.0

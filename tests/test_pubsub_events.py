@@ -1,0 +1,92 @@
+"""Tests for event distributions (uniform and piecewise product densities)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectSet
+from repro.pubsub import PiecewiseUniformEvents, UniformEvents
+
+
+class TestUniformEvents:
+    def test_samples_inside_domain(self):
+        dist = UniformEvents(Rect([0, 0], [10, 5]))
+        points = dist.sample(np.random.default_rng(0), 1000)
+        assert points.shape == (1000, 2)
+        assert (points >= 0).all()
+        assert (points[:, 0] <= 10).all()
+        assert (points[:, 1] <= 5).all()
+
+    def test_filter_measure_is_union_volume(self):
+        dist = UniformEvents(Rect([0, 0], [10, 10]))
+        rects = RectSet(np.array([[0.0, 0.0], [1.0, 0.0]]),
+                        np.array([[2.0, 2.0], [3.0, 2.0]]))
+        assert dist.filter_measure(rects) == pytest.approx(6.0)
+
+    def test_empty_filter_zero(self):
+        dist = UniformEvents(Rect([0, 0], [1, 1]))
+        assert dist.filter_measure(RectSet.empty(2)) == 0.0
+
+    def test_degenerate_domain_rejected(self):
+        with pytest.raises(ValueError):
+            UniformEvents(Rect([0, 0], [0, 1]))
+
+    def test_sampling_is_roughly_uniform(self):
+        dist = UniformEvents(Rect([0, 0], [1, 1]))
+        points = dist.sample(np.random.default_rng(1), 20_000)
+        # Mean of U(0,1) is 0.5 per axis.
+        assert np.allclose(points.mean(axis=0), [0.5, 0.5], atol=0.02)
+
+
+class TestPiecewiseUniformEvents:
+    def make_hot_left(self):
+        """Density 3x heavier on the left half of the x-axis."""
+        return PiecewiseUniformEvents(
+            breakpoints=[np.array([0.0, 5.0, 10.0]), np.array([0.0, 10.0])],
+            weights=[np.array([3.0, 1.0]), np.array([1.0])],
+        )
+
+    def test_domain(self):
+        dist = self.make_hot_left()
+        assert dist.domain == Rect([0, 0], [10, 10])
+
+    def test_sampling_matches_density(self):
+        dist = self.make_hot_left()
+        points = dist.sample(np.random.default_rng(0), 40_000)
+        left = (points[:, 0] < 5).mean()
+        assert left == pytest.approx(0.75, abs=0.01)
+
+    def test_filter_measure_hot_cold(self):
+        dist = self.make_hot_left()
+        hot = RectSet(np.array([[0.0, 0.0]]), np.array([[5.0, 10.0]]))
+        cold = RectSet(np.array([[5.0, 0.0]]), np.array([[10.0, 10.0]]))
+        assert dist.filter_measure(hot) == pytest.approx(0.75 * 100.0)
+        assert dist.filter_measure(cold) == pytest.approx(0.25 * 100.0)
+
+    def test_whole_domain_measure(self):
+        dist = self.make_hot_left()
+        whole = RectSet(np.array([[0.0, 0.0]]), np.array([[10.0, 10.0]]))
+        assert dist.filter_measure(whole) == pytest.approx(100.0)
+
+    def test_measure_monotone(self):
+        dist = self.make_hot_left()
+        small = RectSet(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        big = RectSet(np.array([[0.0, 0.0]]), np.array([[4.0, 4.0]]))
+        assert dist.filter_measure(small) < dist.filter_measure(big)
+
+    def test_measure_agrees_with_sampling(self):
+        dist = self.make_hot_left()
+        rects = RectSet(np.array([[2.0, 3.0]]), np.array([[7.0, 8.0]]))
+        analytic = dist.filter_measure(rects) / 100.0  # probability mass
+        points = dist.sample(np.random.default_rng(2), 50_000)
+        empirical = rects.contains_points(points).any(axis=0).mean()
+        assert empirical == pytest.approx(analytic, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseUniformEvents([], [])
+        with pytest.raises(ValueError):
+            PiecewiseUniformEvents([np.array([0.0, 0.0, 1.0])],
+                                   [np.array([1.0, 1.0])])
+        with pytest.raises(ValueError):
+            PiecewiseUniformEvents([np.array([0.0, 1.0])],
+                                   [np.array([-1.0])])

@@ -1,0 +1,132 @@
+"""Tests for Filter: coverage, nesting (union containment), measure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.pubsub import Filter
+
+
+def filter_of(*rect_pairs):
+    return Filter.from_rects([Rect(lo, hi) for lo, hi in rect_pairs])
+
+
+class TestFilterBasics:
+    def test_empty(self):
+        f = Filter.empty(2)
+        assert f.is_empty()
+        assert f.complexity == 0
+        assert f.measure() == 0.0
+        assert not f.contains_point(np.zeros(2))
+        assert not f.contains_subscription(Rect([0, 0], [1, 1]))
+
+    def test_from_rects_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Filter.from_rects([])
+
+    def test_complexity(self):
+        f = filter_of(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        assert f.complexity == 2
+
+    def test_contains_point_any_rect(self):
+        f = filter_of(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        assert f.contains_point(np.array([0.5, 0.5]))
+        assert f.contains_point(np.array([5.5, 5.5]))
+        assert not f.contains_point(np.array([3.0, 3.0]))
+
+    def test_contains_points_vectorized(self):
+        f = filter_of(([0, 0], [1, 1]))
+        pts = np.array([[0.5, 0.5], [2.0, 2.0]])
+        assert f.contains_points(pts).tolist() == [True, False]
+
+    def test_subscription_cover_is_single_rect(self):
+        # Subscription spanning two rects is NOT covered (paper semantics).
+        f = filter_of(([0, 0], [2, 2]), ([2, 0], [4, 2]))
+        spanning = Rect([1, 0.5], [3, 1.5])
+        assert not f.contains_subscription(spanning)
+        assert f.contains_subscription(Rect([0.5, 0.5], [1.5, 1.5]))
+
+    def test_covering_mask(self):
+        f = filter_of(([0, 0], [2, 2]))
+        subs = RectSet(np.array([[0.5, 0.5], [3.0, 3.0]]),
+                       np.array([[1.0, 1.0], [4.0, 4.0]]))
+        assert f.covering_mask(subs).tolist() == [True, False]
+
+    def test_measure_union_not_sum(self):
+        f = filter_of(([0, 0], [2, 2]), ([1, 0], [3, 2]))
+        assert f.measure() == pytest.approx(6.0)
+
+    def test_expand(self):
+        f = filter_of(([0, 0], [2, 2]))
+        e = f.expand(0.5)
+        assert e.rects.rect(0) == Rect([-0.5, -0.5], [2.5, 2.5])
+
+    def test_merged_with(self):
+        f = Filter.empty(2)
+        g = f.merged_with(Rect([0, 0], [1, 1]))
+        assert g.complexity == 1
+        h = g.merged_with(Rect([2, 2], [3, 3]))
+        assert h.complexity == 2
+
+
+class TestUnionContainment:
+    def test_single_rect_containment(self):
+        f = filter_of(([0, 0], [10, 10]))
+        assert f.covers_rect(Rect([2, 2], [5, 5]))
+        assert not f.covers_rect(Rect([8, 8], [12, 12]))
+
+    def test_two_rects_jointly_cover(self):
+        # Neither rect alone contains the target, but their union does.
+        f = filter_of(([0, 0], [2, 4]), ([2, 0], [4, 4]))
+        target = Rect([1, 1], [3, 3])
+        assert f.covers_rect(target)
+
+    def test_union_with_gap_fails(self):
+        f = filter_of(([0, 0], [1.5, 4]), ([2, 0], [4, 4]))
+        target = Rect([1, 1], [3, 3])  # gap (1.5, 2) x (1, 3) uncovered
+        assert not f.covers_rect(target)
+
+    def test_l_shaped_union(self):
+        f = filter_of(([0, 0], [4, 2]), ([0, 0], [2, 4]))
+        assert f.covers_rect(Rect([0, 0], [2, 4]))
+        assert not f.covers_rect(Rect([0, 0], [4, 4]))
+
+    def test_degenerate_target(self):
+        f = filter_of(([0, 0], [2, 2]), ([2, 0], [4, 2]))
+        flat = Rect([1, 1], [3, 1])  # zero-height segment spanning both
+        assert f.covers_rect(flat)
+        outside = Rect([5, 1], [6, 1])
+        assert not f.covers_rect(outside)
+
+    def test_covers_filter_nesting(self):
+        parent = filter_of(([0, 0], [10, 10]))
+        child = filter_of(([1, 1], [2, 2]), ([5, 5], [9, 9]))
+        assert parent.covers_filter(child)
+        assert not child.covers_filter(parent)
+
+    def test_empty_filter_covers_nothing(self):
+        assert not Filter.empty(2).covers_rect(Rect([0, 0], [1, 1]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_covers_rect_matches_sampling(self, seed):
+        """Oracle: dense point sampling agrees with the exact test."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5))
+        lo = rng.uniform(0, 6, size=(n, 2))
+        hi = lo + rng.uniform(0.5, 4, size=(n, 2))
+        f = Filter(RectSet(lo, hi))
+        t_lo = rng.uniform(0, 6, size=2)
+        t_hi = t_lo + rng.uniform(0.5, 3, size=2)
+        target = Rect(t_lo, t_hi)
+
+        exact = f.covers_rect(target)
+        grid = np.stack(np.meshgrid(
+            np.linspace(t_lo[0] + 1e-6, t_hi[0] - 1e-6, 12),
+            np.linspace(t_lo[1] + 1e-6, t_hi[1] - 1e-6, 12)), axis=-1
+        ).reshape(-1, 2)
+        sampled_all_in = bool(f.contains_points(grid).all())
+        if exact:
+            assert sampled_all_in  # exact cover implies every sample inside

@@ -1,0 +1,100 @@
+"""Tests for the STR-packed R-tree matcher (brute-force oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import RectSet
+from repro.pubsub import BruteForceMatcher
+from repro.pubsub.rtree import RTreeMatcher
+
+
+def random_subs(rng, n, extent=100.0):
+    lo = rng.uniform(0, 0.9 * extent, size=(n, 2))
+    hi = lo + rng.uniform(0.5, 0.2 * extent, size=(n, 2))
+    return RectSet(lo, hi)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTreeMatcher(RectSet.empty(2))
+        assert tree.match_point(np.zeros(2)).size == 0
+        assert tree.query_box(np.zeros(2), np.ones(2)).size == 0
+
+    def test_single_leaf(self):
+        rng = np.random.default_rng(0)
+        subs = random_subs(rng, 5)
+        tree = RTreeMatcher(subs, leaf_capacity=16)
+        assert tree.height == 1
+
+    def test_multi_level(self):
+        rng = np.random.default_rng(1)
+        subs = random_subs(rng, 500)
+        tree = RTreeMatcher(subs, leaf_capacity=8, fanout=4)
+        assert tree.height >= 3
+
+    def test_invalid_parameters(self):
+        subs = RectSet(np.zeros((1, 2)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            RTreeMatcher(subs, leaf_capacity=0)
+        with pytest.raises(ValueError):
+            RTreeMatcher(subs, fanout=1)
+
+
+class TestQueries:
+    def test_matches_brute_force_fixed(self):
+        rng = np.random.default_rng(2)
+        subs = random_subs(rng, 200)
+        tree = RTreeMatcher(subs, leaf_capacity=8)
+        brute = BruteForceMatcher(subs)
+        points = rng.uniform(-5, 105, size=(100, 2))
+        for p in points:
+            assert np.array_equal(tree.match_point(p),
+                                  np.sort(brute.match_point(p)))
+
+    def test_match_points_matrix(self):
+        rng = np.random.default_rng(3)
+        subs = random_subs(rng, 60)
+        tree = RTreeMatcher(subs, leaf_capacity=4)
+        brute = BruteForceMatcher(subs)
+        points = rng.uniform(0, 100, size=(30, 2))
+        assert np.array_equal(tree.match_points(points),
+                              brute.match_points(points))
+
+    def test_query_box_oracle(self):
+        rng = np.random.default_rng(4)
+        subs = random_subs(rng, 120)
+        tree = RTreeMatcher(subs, leaf_capacity=8)
+        for _ in range(40):
+            q_lo = rng.uniform(0, 90, size=2)
+            q_hi = q_lo + rng.uniform(1, 30, size=2)
+            expected = np.flatnonzero(
+                np.all(subs.lo <= q_hi, axis=1)
+                & np.all(q_lo <= subs.hi, axis=1))
+            assert np.array_equal(tree.query_box(q_lo, q_hi), expected)
+
+    def test_skewed_workload(self):
+        """Hot-spot skew: most subscriptions piled in one corner."""
+        rng = np.random.default_rng(5)
+        hot_lo = rng.uniform(0, 2, size=(150, 2))
+        cold_lo = rng.uniform(0, 95, size=(10, 2))
+        lo = np.vstack([hot_lo, cold_lo])
+        subs = RectSet(lo, lo + 1.0)
+        tree = RTreeMatcher(subs, leaf_capacity=8)
+        brute = BruteForceMatcher(subs)
+        for p in rng.uniform(0, 100, size=(50, 2)):
+            assert np.array_equal(tree.match_point(p),
+                                  np.sort(brute.match_point(p)))
+
+    @given(st.integers(0, 10_000), st.integers(1, 120),
+           st.sampled_from([2, 8, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, seed, n, capacity):
+        rng = np.random.default_rng(seed)
+        subs = random_subs(rng, n)
+        tree = RTreeMatcher(subs, leaf_capacity=capacity)
+        brute = BruteForceMatcher(subs)
+        for p in rng.uniform(0, 100, size=(15, 2)):
+            assert np.array_equal(tree.match_point(p),
+                                  np.sort(brute.match_point(p)))

@@ -1,0 +1,131 @@
+"""End-to-end dissemination simulation tests.
+
+The key invariants: with nested filters no delivery is ever missed, and
+the empirical per-broker traffic matches the analytic filter measures.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SAParameters,
+    SAProblem,
+    UniformEvents,
+    build_one_level_tree,
+    filters_from_assignment,
+    offline_greedy,
+    simulate_dissemination,
+)
+from repro.geometry import Rect, RectSet
+from repro.metrics import total_bandwidth
+from repro.network import BrokerTree
+from repro.pubsub import Filter
+
+
+def make_problem(rng, m=60, brokers=4):
+    points = rng.normal(size=(m, 3))
+    broker_points = rng.normal(size=(brokers, 3))
+    tree = build_one_level_tree(np.zeros(3), broker_points)
+    centers = rng.uniform(10, 90, size=(m, 2))
+    widths = rng.uniform(2, 10, size=(m, 2))
+    subs = RectSet(centers - widths / 2, centers + widths / 2)
+    params = SAParameters(alpha=3, max_delay=2.0, beta=2.0, beta_max=3.0)
+    return SAProblem(tree, points, subs, params)
+
+
+class TestSimulator:
+    def test_no_misses_with_nested_filters(self, rng):
+        problem = make_problem(rng)
+        solution = offline_greedy(problem)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(problem.tree, solution.filters,
+                                        solution.assignment,
+                                        problem.subscriptions, dist, rng,
+                                        num_events=500)
+        assert result.missed.sum() == 0
+        assert result.num_events == 500
+
+    def test_empirical_bandwidth_tracks_analytic(self, rng):
+        problem = make_problem(rng, m=80)
+        solution = offline_greedy(problem)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(problem.tree, solution.filters,
+                                        solution.assignment,
+                                        problem.subscriptions, dist, rng,
+                                        num_events=6000)
+        analytic = total_bandwidth(solution.filters)
+        empirical = result.empirical_bandwidth(dist.domain.volume())
+        assert empirical == pytest.approx(analytic, rel=0.25)
+
+    def test_broken_filter_causes_misses(self, rng):
+        problem = make_problem(rng, m=30)
+        solution = offline_greedy(problem)
+        # Break one leaf's filter: nothing gets through to it.
+        broken = dict(solution.filters)
+        victim = int(solution.assignment[0])
+        broken[victim] = Filter.empty(2)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(problem.tree, broken,
+                                        solution.assignment,
+                                        problem.subscriptions, dist, rng,
+                                        num_events=800)
+        assert result.missed.sum() > 0
+
+    def test_deliveries_match_subscription_size(self, rng):
+        """A subscription covering the whole domain receives every event."""
+        points = rng.normal(size=(2, 3))
+        tree = build_one_level_tree(np.zeros(3), rng.normal(size=(2, 3)))
+        subs = RectSet(np.array([[0.0, 0.0], [40.0, 40.0]]),
+                       np.array([[100.0, 100.0], [41.0, 41.0]]))
+        params = SAParameters(max_delay=5.0, beta=2.0, beta_max=2.0)
+        problem = SAProblem(tree, points, subs, params)
+        assignment = np.array(tree.leaves[:2])
+        filters = filters_from_assignment(problem, assignment, rng)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(tree, filters, assignment, subs,
+                                        dist, rng, num_events=400)
+        assert result.deliveries[0] == 400          # whole-domain subscriber
+        assert result.deliveries[1] <= 400 * 0.01   # tiny subscriber
+        assert result.missed.sum() == 0
+
+    def test_node_entries_monotone_down_tree(self, rng):
+        """A child can never see more events than its parent."""
+        positions = np.array([[0.0, 0], [1.0, 0], [2.0, 0], [2.0, 1]])
+        parents = np.array([-1, 0, 1, 1])
+        tree = BrokerTree(positions, parents)
+        points = rng.normal(size=(10, 2))
+        centers = rng.uniform(20, 80, size=(10, 2))
+        subs = RectSet(centers - 5, centers + 5)
+        params = SAParameters(max_delay=5.0, beta=3.0, beta_max=4.0)
+        problem = SAProblem(tree, points, subs, params)
+        assignment = np.array([int(tree.leaves[i % 2]) for i in range(10)])
+        filters = filters_from_assignment(problem, assignment, rng)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(tree, filters, assignment, subs,
+                                        dist, rng, num_events=1000)
+        for node in range(1, tree.num_nodes):
+            parent = int(tree.parents[node])
+            if parent != 0:
+                assert result.node_entries[node] <= result.node_entries[parent]
+
+    def test_missing_filter_rejected(self, rng):
+        problem = make_problem(rng, m=10)
+        solution = offline_greedy(problem)
+        incomplete = dict(solution.filters)
+        incomplete.pop(int(problem.tree.leaves[0]))
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        with pytest.raises(ValueError):
+            simulate_dissemination(problem.tree, incomplete,
+                                   solution.assignment,
+                                   problem.subscriptions, dist, rng)
+
+    def test_delivery_latency_with_positions(self, rng):
+        problem = make_problem(rng, m=20)
+        solution = offline_greedy(problem)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(
+            problem.tree, solution.filters, solution.assignment,
+            problem.subscriptions, dist, rng, num_events=300,
+            subscriber_points=problem.subscriber_points)
+        if result.deliveries.sum() > 0:
+            assert result.mean_delivery_latency > 0.0

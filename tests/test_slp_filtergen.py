@@ -1,0 +1,120 @@
+"""Tests for candidate filter generation (FilterGen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slp import FilterGenConfig, generate_candidate_filters
+from repro.core.slp.filtergen import _interval_classes
+from repro.geometry import RectSet
+
+
+def clustered_subs(rng, clusters=4, per=10, extent=100.0):
+    anchors = rng.uniform(0, extent, size=(clusters, 2))
+    centers = np.repeat(anchors, per, axis=0) \
+        + rng.uniform(-2, 2, size=(clusters * per, 2))
+    half = rng.uniform(0.2, 1.0, size=(clusters * per, 2))
+    return RectSet(centers - half, centers + half)
+
+
+class TestIntervalClasses:
+    def test_every_projection_covered(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(0, 50, size=30)
+        hi = lo + rng.uniform(0.5, 10, size=30)
+        intervals = _interval_classes(lo, hi, eta=0.5, max_classes=24)
+        for a, b in zip(lo, hi):
+            assert any(ia <= a and b <= ib for ia, ib in intervals), \
+                f"projection [{a}, {b}] uncovered"
+
+    def test_identical_intervals(self):
+        lo = np.zeros(5)
+        hi = np.ones(5)
+        intervals = _interval_classes(lo, hi, eta=0.5, max_classes=24)
+        assert (0.0, 1.0) in intervals
+
+    def test_degenerate_projections(self):
+        lo = np.array([1.0, 2.0, 3.0])
+        hi = lo.copy()
+        intervals = _interval_classes(lo, hi, eta=0.5, max_classes=24)
+        for a, b in zip(lo, hi):
+            assert any(ia <= a and b <= ib for ia, ib in intervals)
+
+    def test_span_always_included(self):
+        rng = np.random.default_rng(1)
+        lo = rng.uniform(0, 50, size=10)
+        hi = lo + rng.uniform(0.5, 5, size=10)
+        intervals = _interval_classes(lo, hi, eta=0.5, max_classes=24)
+        assert (float(lo.min()), float(hi.max())) in intervals
+
+    @given(st.integers(0, 10_000), st.integers(2, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_coverage_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0, 100, size=n)
+        hi = lo + rng.uniform(0.01, 40, size=n)
+        intervals = _interval_classes(lo, hi, eta=0.5, max_classes=24)
+        for a, b in zip(lo, hi):
+            assert any(ia <= a + 1e-12 and b <= ib + 1e-12
+                       for ia, ib in intervals)
+
+
+class TestGenerateCandidateFilters:
+    def test_every_subscription_contained_somewhere(self, rng):
+        subs = clustered_subs(rng)
+        candidates = generate_candidate_filters(subs, num_brokers=4, rng=rng)
+        matrix = candidates.containment_matrix(subs)
+        assert matrix.any(axis=0).all()
+
+    def test_global_meb_present(self, rng):
+        subs = clustered_subs(rng)
+        candidates = generate_candidate_filters(subs, num_brokers=4, rng=rng)
+        meb = subs.meb()
+        assert candidates.contains_rect(meb).any() or any(
+            candidates.rect(i) == meb for i in range(len(candidates)))
+
+    def test_tight_candidates_exist(self, rng):
+        """Clusters should yield candidates far smaller than the MEB."""
+        subs = clustered_subs(rng, clusters=4, per=10)
+        candidates = generate_candidate_filters(subs, num_brokers=4, rng=rng)
+        meb_volume = subs.meb().volume()
+        assert candidates.volumes().min() < 0.05 * meb_volume
+
+    def test_respects_max_candidates(self, rng):
+        subs = clustered_subs(rng, clusters=10, per=10)
+        config = FilterGenConfig(max_candidates=15)
+        candidates = generate_candidate_filters(subs, num_brokers=10,
+                                                rng=rng, config=config)
+        assert len(candidates) <= 15 + 1  # +1 for the re-appended MEB
+
+    def test_without_super_subscriptions(self, rng):
+        subs = clustered_subs(rng, clusters=3, per=5)
+        config = FilterGenConfig(use_super_subscriptions=False)
+        candidates = generate_candidate_filters(subs, num_brokers=2,
+                                                rng=rng, config=config)
+        assert candidates.containment_matrix(subs).any(axis=0).all()
+
+    def test_network_points_accepted(self, rng):
+        subs = clustered_subs(rng)
+        points = rng.normal(size=(len(subs), 5))
+        candidates = generate_candidate_filters(subs, num_brokers=2, rng=rng,
+                                                network_points=points)
+        assert len(candidates) >= 1
+
+    def test_single_subscription(self, rng):
+        subs = RectSet(np.array([[1.0, 1.0]]), np.array([[2.0, 3.0]]))
+        candidates = generate_candidate_filters(subs, num_brokers=3, rng=rng)
+        assert candidates.containment_matrix(subs).any(axis=0).all()
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_candidate_filters(RectSet.empty(2), 2, rng)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FilterGenConfig(eta=0.4)
+        with pytest.raises(ValueError):
+            FilterGenConfig(eta=1.0)
+        with pytest.raises(ValueError):
+            FilterGenConfig(super_subscription_factor=0)

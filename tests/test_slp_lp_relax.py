@@ -1,0 +1,100 @@
+"""Tests for the LP relaxation and randomized rounding (LPRelax)."""
+
+import numpy as np
+import pytest
+
+from repro.core.slp.lp_relax import lp_relax
+from repro.geometry import RectSet
+
+
+def two_cluster_instance():
+    """4 subscriptions in two tight clusters; 2 brokers; 3 candidates.
+
+    The obvious optimum: each broker takes one cluster rectangle; the big
+    rectangle (covering everything) is wasteful.
+    """
+    subs = RectSet(
+        np.array([[0.0, 0.0], [1.0, 1.0], [50.0, 50.0], [51.0, 51.0]]),
+        np.array([[2.0, 2.0], [3.0, 3.0], [52.0, 52.0], [53.0, 53.0]]))
+    rects = RectSet(
+        np.array([[0.0, 0.0], [50.0, 50.0], [0.0, 0.0]]),
+        np.array([[3.0, 3.0], [53.0, 53.0], [53.0, 53.0]]))
+    feasible = np.ones((2, 4), dtype=bool)
+    sb_mask = np.ones(4, dtype=bool)
+    kappas = np.array([0.5, 0.5])
+    return subs, rects, feasible, sb_mask, kappas
+
+
+class TestLPRelax:
+    def test_finds_cheap_cover(self, rng):
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=1, beta=1.2, rng=rng)
+        assert outcome is not None
+        # Fractional optimum: the two cluster rects (volume 9 each).
+        assert outcome.fractional_objective == pytest.approx(18.0, rel=1e-6)
+
+    def test_rounded_filters_cover_sample(self, rng):
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=1, beta=1.2, rng=rng)
+        contain = [f.containment_matrix(subs).any(axis=0) if len(f) else
+                   np.zeros(len(subs), dtype=bool) for f in outcome.filters]
+        covered = np.logical_or.reduce([c & feasible[i]
+                                        for i, c in enumerate(contain)])
+        assert covered.all()
+
+    def test_latency_infeasible_returns_none(self, rng):
+        subs, rects, _, sb_mask, kappas = two_cluster_instance()
+        feasible = np.zeros((2, 4), dtype=bool)  # nobody can serve anyone
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=1, beta=1.2, rng=rng)
+        assert outcome is None
+
+    def test_containment_infeasible_returns_none(self, rng):
+        subs, _, feasible, sb_mask, kappas = two_cluster_instance()
+        tiny = RectSet(np.array([[200.0, 200.0]]), np.array([[201.0, 201.0]]))
+        outcome = lp_relax(subs, feasible, sb_mask, tiny, kappas,
+                           alpha=1, beta=1.2, rng=rng)
+        assert outcome is None
+
+    def test_load_balance_constrains_fraction(self, rng):
+        """With a hard beta, one broker cannot fractionally serve everyone."""
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        # beta=1 -> each broker serves exactly half of Sb fractionally.
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=1, beta=1.0, rng=rng)
+        assert outcome is not None
+        # Both brokers need some filter mass.
+        y = outcome.y_fractional
+        assert (y.sum(axis=1) > 1e-6).all()
+
+    def test_fractional_lower_bounds_rounded(self, rng):
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=2, beta=1.5, rng=rng)
+        rounded_total = sum(float(f.volumes().sum())
+                            for f in outcome.filters)
+        assert outcome.fractional_objective <= rounded_total + 1e-9
+
+    def test_alpha_constraint_fractional(self, rng):
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        outcome = lp_relax(subs, feasible, sb_mask, rects, kappas,
+                           alpha=1, beta=1.5, rng=rng)
+        assert (outcome.y_fractional.sum(axis=1) <= 1.0 + 1e-6).all()
+
+    def test_shape_mismatch_rejected(self, rng):
+        subs, rects, feasible, sb_mask, kappas = two_cluster_instance()
+        with pytest.raises(ValueError):
+            lp_relax(subs, feasible, sb_mask[:2], rects, kappas,
+                     alpha=1, beta=1.5, rng=rng)
+
+    def test_single_subscriber_single_broker(self, rng):
+        subs = RectSet(np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]]))
+        rects = subs
+        outcome = lp_relax(subs, np.ones((1, 1), dtype=bool),
+                           np.ones(1, dtype=bool), rects,
+                           np.array([1.0]), alpha=1, beta=1.5, rng=rng)
+        assert outcome is not None
+        assert outcome.fractional_objective == pytest.approx(1.0)
+        assert len(outcome.filters[0]) >= 1

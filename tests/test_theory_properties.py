@@ -1,0 +1,147 @@
+"""Empirical checks of the paper's theoretical claims (appendix lemmas).
+
+These don't prove the lemmas, but they verify that the implementation
+exhibits the behaviour the analysis predicts — a useful guard against
+implementation drift (e.g. a wrong rounding exponent would break the
+1/2 success-probability claim immediately).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SAParameters, SAProblem, build_one_level_tree
+from repro.core.greedy import _TreeFilterState
+from repro.core.slp.lp_relax import lp_relax
+from repro.core.slp.sampling import FilterAssignConfig, filter_assign
+from repro.core.slp.view import SLPView
+from repro.geometry import RectSet
+from repro.network import BrokerTree
+
+
+def clustered_view(rng, m=150, brokers=5, clusters=5):
+    anchors = rng.uniform(0, 100, size=(clusters, 2))
+    which = rng.integers(0, clusters, size=m)
+    centers = anchors[which] + rng.uniform(-2, 2, size=(m, 2))
+    half = rng.uniform(0.2, 1.0, size=(m, 2))
+    return SLPView(
+        subscriptions=RectSet(centers - half, centers + half),
+        network_points=rng.normal(size=(m, 5)),
+        feasible=np.ones((brokers, m), dtype=bool),
+        kappas_effective=np.full(brokers, 1.0 / brokers),
+        alpha=3, beta=1.5, beta_max=2.0)
+
+
+class TestRoundingSuccessProbability:
+    """LPRelax's rounding covers Sa with probability >= 1/2 per attempt,
+    so the attempt count is geometric with mean <= 2."""
+
+    def test_mean_attempts_small(self):
+        rng = np.random.default_rng(0)
+        attempts = []
+        for seed in range(12):
+            local = np.random.default_rng(seed)
+            view = clustered_view(local, m=60, brokers=4)
+            candidates_rng = np.random.default_rng(seed + 100)
+            from repro.core.slp.filtergen import generate_candidate_filters
+            rects = generate_candidate_filters(view.subscriptions, 4,
+                                               candidates_rng)
+            outcome = lp_relax(view.subscriptions, view.feasible,
+                               np.ones(60, dtype=bool), rects,
+                               view.kappas_effective, 3, 1.5, rng)
+            assert outcome is not None
+            attempts.append(outcome.rounding_attempts)
+            assert outcome.forced_rects == 0
+        assert np.mean(attempts) <= 3.0
+
+
+class TestEpsilonExpansionSemantics:
+    """The returned filters are the eps-expanded ones and cover all of S;
+    a certificate's raw (unexpanded) cover would generally miss members."""
+
+    def test_expanded_covers_everyone(self):
+        rng = np.random.default_rng(1)
+        view = clustered_view(rng)
+        result = filter_assign(view, rng)
+        assert len(view.uncovered(result.filters)) == 0
+
+    def test_certificate_size_within_sampling_bound(self):
+        rng = np.random.default_rng(2)
+        view = clustered_view(rng, m=200)
+        result = filter_assign(view, rng)
+        if result.used_fallback:
+            pytest.skip("fallback: no certificate found")
+        g = result.info.get("final_g")
+        size = result.info.get("certificate_size")
+        if g is None or size is None:
+            pytest.skip("accepted via best-candidate path")
+        config = FilterAssignConfig()
+        bound = math.ceil(config.sample_factor * g * math.log(max(g, 2)))
+        assert size <= bound
+
+
+class TestGreedyNestingInvariant:
+    """After any commit sequence, every slot rectangle of a node is
+    contained in some slot of its parent (the greedy nesting invariant)."""
+
+    def multilevel_problem(self, rng):
+        positions = np.vstack([np.zeros(2), rng.uniform(0, 5, size=(7, 2))])
+        parents = np.array([-1, 0, 0, 1, 1, 2, 2, 3])
+        tree = BrokerTree(positions, parents)
+        m = 40
+        points = rng.uniform(0, 5, size=(m, 2))
+        centers = rng.uniform(0, 100, size=(m, 2))
+        half = rng.uniform(0.5, 8, size=(m, 2))
+        subs = RectSet(centers - half, centers + half)
+        params = SAParameters(alpha=2, max_delay=3.0, beta=3.0,
+                              beta_max=4.0)
+        return SAProblem(tree, points, subs, params)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_invariant_holds(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = self.multilevel_problem(rng)
+        state = _TreeFilterState(problem)
+        leaves = problem.tree.leaves
+        for j in range(problem.num_subscribers):
+            row = int(rng.integers(len(leaves)))
+            state.commit(row, problem.subscriptions.lo[j],
+                         problem.subscriptions.hi[j])
+
+        tree = problem.tree
+        for node in range(1, tree.num_nodes):
+            parent = int(tree.parents[node])
+            if parent == 0:
+                continue
+            for slot in range(int(state.count[node])):
+                lo = state.lo[node, slot]
+                hi = state.hi[node, slot]
+                nested = any(
+                    (state.lo[parent, s] <= lo).all()
+                    and (hi <= state.hi[parent, s]).all()
+                    for s in range(int(state.count[parent])))
+                assert nested, (node, slot)
+
+    def test_path_costs_match_commit_effect(self):
+        """The advertised cost of the chosen leaf equals the actual volume
+        growth caused by committing there."""
+        rng = np.random.default_rng(7)
+        problem = self.multilevel_problem(rng)
+        state = _TreeFilterState(problem)
+
+        def total_volume():
+            used = np.arange(state.alpha)[None, :] < state.count[:, None]
+            volumes = np.prod(np.maximum(state.hi - state.lo, 0.0), axis=2)
+            return float(np.where(used, volumes, 0.0).sum())
+
+        for j in range(problem.num_subscribers):
+            rows = np.arange(len(problem.tree.leaves))
+            costs = state.path_costs(rows, problem.subscriptions.lo[j],
+                                     problem.subscriptions.hi[j])
+            pick = int(costs.argmin())
+            before = total_volume()
+            state.commit(pick, problem.subscriptions.lo[j],
+                         problem.subscriptions.hi[j])
+            growth = total_volume() - before
+            assert growth == pytest.approx(costs[pick], rel=1e-9, abs=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for workload diagnostics: the generators hit their targets."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GoogleGroupsConfig,
+    GridConfig,
+    RssConfig,
+    generate_google_groups,
+    generate_grid,
+    generate_rss,
+)
+from repro.workloads.stats import (
+    broad_interest_fraction,
+    describe_workload,
+    interest_location_correlation,
+    overlap_statistics,
+    popularity_skew,
+)
+
+
+def gg(is_setting="H", bi_setting="L", m=1500):
+    config = GoogleGroupsConfig(num_subscribers=m, num_brokers=12,
+                                interest_skew=is_setting,
+                                broad_interests=bi_setting)
+    return generate_google_groups(seed=9, config=config)
+
+
+class TestPopularitySkew:
+    def test_high_skew_above_low_skew(self):
+        assert popularity_skew(gg("H")) > popularity_skew(gg("L"))
+
+    def test_rss_zipf_is_positive(self):
+        workload = generate_rss(seed=2, config=RssConfig(
+            num_subscribers=1500, num_brokers=10))
+        assert popularity_skew(workload) > 0.1
+
+    def test_nonnegative(self):
+        for workload in (gg("L"), gg("H")):
+            assert popularity_skew(workload) >= 0.0
+
+
+class TestBroadInterestFraction:
+    def test_bi_axis_separates(self):
+        low = broad_interest_fraction(gg(bi_setting="L"))
+        high = broad_interest_fraction(gg(bi_setting="H"))
+        assert high > low + 0.1
+
+    def test_matches_generator_target(self):
+        # BI:H generates ~25% broad subscriptions.
+        high = broad_interest_fraction(gg(bi_setting="H", m=3000))
+        assert high == pytest.approx(0.25, abs=0.06)
+
+    def test_rss_has_no_broad_interests(self):
+        workload = generate_rss(seed=2, config=RssConfig(
+            num_subscribers=800, num_brokers=10))
+        assert broad_interest_fraction(workload) == 0.0
+
+
+class TestInterestLocationCorrelation:
+    def test_google_groups_correlated(self):
+        assert interest_location_correlation(gg()) > 0.1
+
+    def test_grid_uncorrelated(self):
+        workload = generate_grid(seed=2, config=GridConfig(
+            num_subscribers=1500, num_brokers=10))
+        assert interest_location_correlation(workload) < \
+            interest_location_correlation(gg())
+
+    def test_bounds(self):
+        value = interest_location_correlation(gg())
+        assert 0.0 <= value <= 1.0
+
+
+class TestOverlapStatistics:
+    def test_rss_heavy_containment(self):
+        """Identical per-topic squares: sampled same-topic pairs coincide."""
+        workload = generate_rss(seed=2, config=RssConfig(
+            num_subscribers=1000, num_brokers=10))
+        stats = overlap_statistics(workload)
+        assert stats.containment_fraction > 0.02
+        assert stats.mean_jaccard > 0.02
+
+    def test_fields_are_fractions(self):
+        stats = overlap_statistics(gg())
+        for value in (stats.intersect_fraction,
+                      stats.containment_fraction, stats.mean_jaccard):
+            assert 0.0 <= value <= 1.0
+
+    def test_intersections_at_least_containments(self):
+        stats = overlap_statistics(gg())
+        assert stats.intersect_fraction >= stats.containment_fraction
+
+
+class TestDescribeWorkload:
+    def test_all_keys_present(self):
+        summary = describe_workload(gg())
+        expected = {"subscribers", "brokers", "popularity_skew",
+                    "broad_interest_fraction",
+                    "interest_location_correlation",
+                    "pair_intersect_fraction",
+                    "pair_containment_fraction", "pair_mean_jaccard"}
+        assert set(summary) == expected
+
+    def test_deterministic(self):
+        a = describe_workload(gg(), seed=3)
+        b = describe_workload(gg(), seed=3)
+        assert a == b

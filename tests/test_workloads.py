@@ -1,0 +1,229 @@
+"""Tests for the three workload generators and the adversarial instance."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GoogleGroupsConfig,
+    GridConfig,
+    RssConfig,
+    generate_clustered_shuffle,
+    generate_google_groups,
+    generate_grid,
+    generate_rss,
+    multilevel_problem,
+    one_level_problem,
+)
+from repro.workloads import VARIANTS, variant_name
+
+
+class TestGoogleGroups:
+    def make(self, **kwargs):
+        defaults = dict(num_subscribers=600, num_brokers=10)
+        defaults.update(kwargs)
+        return generate_google_groups(seed=1, config=GoogleGroupsConfig(**defaults))
+
+    def test_shapes(self):
+        wl = self.make()
+        assert wl.num_subscribers == 600
+        assert wl.num_brokers == 10
+        assert wl.subscriber_points.shape == (600, 5)
+        assert len(wl.subscriptions) == 600
+        assert wl.subscriptions.dim == 2
+
+    def test_deterministic_per_seed(self):
+        a = generate_google_groups(seed=3, config=GoogleGroupsConfig(
+            num_subscribers=100, num_brokers=5))
+        b = generate_google_groups(seed=3, config=GoogleGroupsConfig(
+            num_subscribers=100, num_brokers=5))
+        assert np.allclose(a.subscriber_points, b.subscriber_points)
+        assert np.allclose(a.subscriptions.lo, b.subscriptions.lo)
+
+    def test_different_seeds_differ(self):
+        a = self.make()
+        b = generate_google_groups(seed=2, config=GoogleGroupsConfig(
+            num_subscribers=600, num_brokers=10))
+        assert not np.allclose(a.subscriber_points, b.subscriber_points)
+
+    def test_subscriptions_inside_domain(self):
+        wl = self.make()
+        domain = wl.event_domain
+        assert (wl.subscriptions.lo >= domain.lo - 1e-9).all()
+        assert (wl.subscriptions.hi <= domain.hi + 1e-9).all()
+
+    def test_broad_interest_fraction(self):
+        low = self.make(broad_interests="L", num_subscribers=3000)
+        high = self.make(broad_interests="H", num_subscribers=3000)
+        extent = low.event_domain.widths[0]
+
+        def broad_fraction(wl):
+            widths = wl.subscriptions.widths()
+            return (widths > 0.2 * extent).any(axis=1).mean()
+
+        assert broad_fraction(high) > broad_fraction(low) + 0.1
+
+    def test_interest_skew_changes_popularity(self):
+        low = self.make(interest_skew="L", num_subscribers=3000)
+        high = self.make(interest_skew="H", num_subscribers=3000)
+
+        def top_share(wl):
+            centers = np.round(wl.subscriptions.centers(), -1)
+            _, counts = np.unique(centers, axis=0, return_counts=True)
+            return counts.max() / counts.sum()
+
+        assert top_share(high) > top_share(low)
+
+    def test_brokers_near_subscribers(self):
+        wl = self.make()
+        from repro.network.space import pairwise_distances
+        d = pairwise_distances(wl.broker_points, wl.subscriber_points)
+        # Every broker is planted next to some subscriber.
+        assert d.min(axis=1).max() < 20.0
+
+    def test_default_betas(self):
+        wl = self.make()
+        assert wl.default_beta == 1.5
+        assert wl.default_beta_max == 1.8
+
+    def test_variant_names(self):
+        assert variant_name("H", "L") == "(IS:H, BI:L)"
+        assert len(VARIANTS) == 4
+
+    def test_invalid_settings(self):
+        with pytest.raises(ValueError):
+            GoogleGroupsConfig(interest_skew="X")
+
+
+class TestRss:
+    def make(self):
+        return generate_rss(seed=1, config=RssConfig(num_subscribers=500,
+                                                     num_brokers=8))
+
+    def test_unit_square_subscriptions(self):
+        wl = self.make()
+        widths = wl.subscriptions.widths()
+        assert np.allclose(widths, 1.0)
+
+    def test_at_most_50_distinct_interests(self):
+        wl = self.make()
+        corners = np.unique(wl.subscriptions.lo, axis=0)
+        assert corners.shape[0] <= 50
+
+    def test_ten_locations(self):
+        wl = self.make()
+        locations = np.unique(wl.subscriber_points, axis=0)
+        assert locations.shape[0] <= 10
+
+    def test_zipf_popularity(self):
+        wl = generate_rss(seed=2, config=RssConfig(num_subscribers=5000,
+                                                   num_brokers=8))
+        _, counts = np.unique(wl.subscriptions.lo, axis=0,
+                              return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Zipf(0.5) over 50 interests: the top interest clearly dominates
+        # the median one.
+        assert counts[0] > 2 * np.median(counts)
+
+    def test_default_betas_relaxed(self):
+        wl = self.make()
+        assert wl.default_beta == 2.3
+        assert wl.default_beta_max == 2.5
+
+
+class TestGrid:
+    def make(self, **kwargs):
+        defaults = dict(num_subscribers=800, num_brokers=8)
+        defaults.update(kwargs)
+        return generate_grid(seed=1, config=GridConfig(**defaults))
+
+    def test_centers_on_cells(self):
+        config = GridConfig(num_subscribers=200, num_brokers=4)
+        wl = generate_grid(seed=1, config=config)
+        cell = config.event_extent / config.cells_per_axis
+        centers = wl.subscriptions.centers()
+        # Unclipped subscriptions sit exactly on cell centers.
+        widths = wl.subscriptions.widths()
+        interior = ((wl.subscriptions.lo > 0).all(axis=1)
+                    & (wl.subscriptions.hi < config.event_extent).all(axis=1))
+        offsets = (centers[interior] - cell / 2) % cell
+        assert np.allclose(offsets, 0.0, atol=1e-9)
+
+    def test_widths_from_predefined_set(self):
+        config = GridConfig(num_subscribers=300, num_brokers=4)
+        wl = generate_grid(seed=1, config=config)
+        allowed = set(np.round(np.asarray(config.width_fractions)
+                               * config.event_extent, 9).tolist())
+        widths = np.round(wl.subscriptions.widths(), 9)
+        interior = ((wl.subscriptions.lo > 0).all(axis=1)
+                    & (wl.subscriptions.hi < config.event_extent).all(axis=1))
+        for w in widths[interior].ravel():
+            assert w in allowed
+
+    def test_hot_spots_exist(self):
+        wl = self.make(num_subscribers=5000)
+        centers = wl.subscriptions.centers()
+        _, counts = np.unique(np.round(centers, 6), axis=0,
+                              return_counts=True)
+        assert counts.max() > 3 * np.median(counts)
+
+    def test_default_betas_tight(self):
+        wl = self.make()
+        assert wl.default_beta == 1.3
+        assert wl.default_beta_max == 1.5
+
+
+class TestAdversarial:
+    def test_structure(self):
+        wl = generate_clustered_shuffle(seed=1, num_clusters=4,
+                                        subscribers_per_cluster=10)
+        assert wl.num_subscribers == 40
+        assert wl.num_brokers == 4
+        assert wl.default_beta == wl.default_beta_max == 1.0
+
+    def test_all_subscribers_colocated(self):
+        wl = generate_clustered_shuffle(seed=1)
+        assert np.allclose(wl.subscriber_points,
+                           wl.subscriber_points[0][None, :])
+
+    def test_clusters_are_tight_and_far(self):
+        wl = generate_clustered_shuffle(seed=1, num_clusters=4,
+                                        subscribers_per_cluster=10)
+        cluster_of = wl.metadata["cluster_of"]
+        centers = wl.subscriptions.centers()
+        spreads, gaps = [], []
+        anchors = []
+        for c in range(4):
+            members = centers[cluster_of == c]
+            anchors.append(members.mean(axis=0))
+            spreads.append(np.linalg.norm(members - anchors[-1],
+                                          axis=1).max())
+        for a in range(4):
+            for b in range(a + 1, 4):
+                gaps.append(np.linalg.norm(anchors[a] - anchors[b]))
+        assert min(gaps) > 5 * max(spreads)
+
+
+class TestProblemBuilders:
+    def test_one_level_uses_workload_defaults(self):
+        wl = generate_rss(seed=1, config=RssConfig(num_subscribers=100,
+                                                   num_brokers=5))
+        problem = one_level_problem(wl)
+        assert problem.params.beta == 2.3
+        assert problem.params.beta_max == 2.5
+        assert problem.tree.height == 1
+
+    def test_overrides(self):
+        wl = generate_rss(seed=1, config=RssConfig(num_subscribers=100,
+                                                   num_brokers=5))
+        problem = one_level_problem(wl, alpha=2, max_delay=0.7, beta=1.1,
+                                    beta_max=1.2)
+        assert problem.params.alpha == 2
+        assert problem.params.beta == 1.1
+
+    def test_multilevel_bounded_degree(self):
+        wl = generate_google_groups(seed=1, config=GoogleGroupsConfig(
+            num_subscribers=100, num_brokers=30))
+        problem = multilevel_problem(wl, max_out_degree=5, seed=0)
+        tree = problem.tree
+        assert all(len(tree.children(n)) <= 5 for n in range(tree.num_nodes))
+        assert tree.num_brokers == 30
