@@ -28,7 +28,12 @@ from repro import (
     multilevel_problem,
     one_level_problem,
 )
-from repro.bench import format_series, format_table, run_algorithms
+from repro.bench import (
+    format_series,
+    format_table,
+    run_algorithms,
+    write_bench_json,
+)
 from repro.workloads import VARIANTS, variant_name
 
 # ---------------------------------------------------------------------------
@@ -54,6 +59,26 @@ _runs: dict = {}
 def emit(text: str) -> None:
     """Print benchmark output (capture is off via ``-s`` in addopts)."""
     print(text, flush=True)
+
+
+def emit_json(name: str, headers, rows, **extra) -> None:
+    """Write a bench's rows as ``BENCH_<name>.json`` when ``--json`` is on.
+
+    The payload carries the scale knobs so results from different
+    machines/settings stay comparable.
+    """
+    path = write_bench_json(name, {
+        "benchmark": name,
+        "scale": {"subscribers": SUBSCRIBERS,
+                  "brokers_one_level": BROKERS_ONE_LEVEL,
+                  "brokers_multi": BROKERS_MULTI,
+                  "seed": SEED},
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        **extra,
+    })
+    if path:
+        emit(f"[json results -> {path}]")
 
 
 def scale_banner(extra: str = "") -> str:
@@ -146,7 +171,7 @@ SLP_KWARGS = {"SLP1": {"seed": 1}, "SLP": {"seed": 1}}
 __all__ = [
     "VARIANTS", "variant_name", "SUBSCRIBERS", "BROKERS_ONE_LEVEL",
     "BROKERS_MULTI", "TIGHT", "LOOSE", "SLP_KWARGS",
-    "emit", "scale_banner", "format_table", "format_series",
+    "emit", "emit_json", "scale_banner", "format_table", "format_series",
     "wl1", "wl2", "wl3", "wl1_multi",
     "one_level", "one_level_wl", "multi_level", "runs_for",
 ]

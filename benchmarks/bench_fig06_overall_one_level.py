@@ -13,6 +13,7 @@ from _shared import (
     SLP_KWARGS,
     VARIANTS,
     emit,
+    emit_json,
     format_table,
     one_level,
     runs_for,
@@ -50,9 +51,10 @@ def test_fig06_overall_one_level(benchmark):
     emit("\n== Figure 6: overall comparison, one-level network, "
          "workload set #1 (averaged over 4 variants) ==")
     emit(scale_banner())
-    emit(format_table(
-        ["algorithm", "bandwidth", "rms_delay", "load_stdev", "lbf",
-         "feasible"], rows))
+    headers = ["algorithm", "bandwidth", "rms_delay", "load_stdev", "lbf",
+               "feasible"]
+    emit(format_table(headers, rows))
+    emit_json("fig06_overall_one_level", headers, rows)
 
     by_name = {row[0]: row for row in rows}
     # Paper shape assertions: event-space-blind algorithms waste bandwidth,

@@ -12,6 +12,7 @@ from _shared import (
     SLP_KWARGS,
     VARIANTS,
     emit,
+    emit_json,
     format_table,
     one_level,
     runs_for,
@@ -42,8 +43,9 @@ def test_table1_bandwidth_wl1(benchmark):
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
     emit("\n== Table I: bandwidth comparison (workload set #1) ==")
     emit(scale_banner())
-    emit(format_table(
-        ["workload", "fractional", "SLP1", "Gr*", "Gr"], rows))
+    headers = ["workload", "fractional", "SLP1", "Gr*", "Gr"]
+    emit(format_table(headers, rows))
+    emit_json("table1_bandwidth_wl1", headers, rows)
 
     for row in rows:
         fractional = row[1]

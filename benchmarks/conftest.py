@@ -3,9 +3,27 @@
 Output capture is disabled project-wide (``-s`` in addopts) so the
 regenerated paper tables/series print alongside pytest-benchmark's
 timing table.
+
+``pytest benchmarks/ --json DIR`` additionally writes machine-readable
+``BENCH_<name>.json`` files into DIR for every benchmark that calls
+``emit_json`` (see ``repro.bench.harness.write_bench_json``).
 """
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench.harness import JSON_ENV_VAR  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store", default=None, metavar="DIR",
+        help="also write machine-readable BENCH_*.json results into DIR")
+
+
+def pytest_configure(config):
+    directory = config.getoption("--json", default=None)
+    if directory:
+        os.environ[JSON_ENV_VAR] = directory

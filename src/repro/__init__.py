@@ -57,6 +57,18 @@ from .pubsub import (
     UniformEvents,
     simulate_dissemination,
 )
+from .runtime import (
+    BrokerOutage,
+    DisseminationEngine,
+    FaultPlan,
+    GreedyFailover,
+    ReplayConfig,
+    RuntimeConfig,
+    RuntimeResult,
+    Telemetry,
+    apply_fault_plan,
+    replay_churn,
+)
 from .workloads import (
     GoogleGroupsConfig,
     GridConfig,
@@ -86,6 +98,9 @@ __all__ = [
     "ALGORITHMS", "get_algorithm", "algorithm_names",
     "SolutionReport", "evaluate_solution", "total_bandwidth",
     "load_boxplot", "load_cdf",
+    "DisseminationEngine", "RuntimeConfig", "RuntimeResult",
+    "BrokerOutage", "FaultPlan", "GreedyFailover", "apply_fault_plan",
+    "ReplayConfig", "replay_churn", "Telemetry",
     "Workload", "one_level_problem", "multilevel_problem",
     "GoogleGroupsConfig", "generate_google_groups",
     "RssConfig", "generate_rss", "GridConfig", "generate_grid",

@@ -1,12 +1,22 @@
 """Benchmark harness utilities shared by the ``benchmarks/`` scripts."""
 
-from .harness import AlgorithmRun, average_reports, run_algorithms
+from .harness import (
+    AlgorithmRun,
+    average_reports,
+    json_output_dir,
+    run_algorithms,
+    runs_payload,
+    write_bench_json,
+)
 from .tables import format_series, format_table, print_series, print_table
 
 __all__ = [
     "AlgorithmRun",
     "run_algorithms",
     "average_reports",
+    "json_output_dir",
+    "write_bench_json",
+    "runs_payload",
     "format_table",
     "print_table",
     "format_series",

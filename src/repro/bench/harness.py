@@ -9,15 +9,25 @@ because the reproduction is shape-based, not absolute-number-based.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
 
 from ..core.problem import SAProblem
 from ..core.registry import get_algorithm
 from ..metrics.report import SolutionReport, evaluate_solution
 
-__all__ = ["AlgorithmRun", "run_algorithms", "average_reports"]
+__all__ = ["AlgorithmRun", "run_algorithms", "average_reports",
+           "json_output_dir", "write_bench_json", "runs_payload"]
+
+#: Environment variable naming the directory machine-readable benchmark
+#: results are written into; ``pytest benchmarks/ --json DIR`` sets it.
+JSON_ENV_VAR = "REPRO_BENCH_JSON"
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,51 @@ def run_algorithms(problem: SAProblem, names: Iterable[str],
         report = evaluate_solution(name, solution, runtime_seconds=elapsed)
         runs.append(AlgorithmRun(name=name, report=report, solution=solution))
     return runs
+
+
+def json_output_dir() -> str | None:
+    """Directory for ``BENCH_*.json`` results, or None when disabled.
+
+    Enabled by ``pytest benchmarks/ --json DIR`` (or by exporting
+    ``REPRO_BENCH_JSON=DIR`` directly).
+    """
+    return os.environ.get(JSON_ENV_VAR) or None
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so ``json.dumps`` accepts bench payloads."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def write_bench_json(name: str, payload: Mapping[str, Any],
+                     directory: str | None = None) -> str | None:
+    """Write one benchmark's machine-readable result alongside its table.
+
+    Emits ``BENCH_<name>.json`` into ``directory`` (default: the
+    ``--json`` directory; no-op returning None when JSON output is off),
+    so CI and scripts can consume benchmark runs without scraping the
+    ASCII tables.
+    """
+    directory = directory if directory is not None else json_output_dir()
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(dict(payload), fh, indent=2, default=_jsonable)
+        fh.write("\n")
+    return path
+
+
+def runs_payload(runs: Iterable[AlgorithmRun]) -> list[dict[str, Any]]:
+    """Flatten algorithm runs into JSON-ready report rows."""
+    return [run.report.as_row() for run in runs]
 
 
 def average_reports(reports: Iterable[SolutionReport]) -> dict[str, float]:

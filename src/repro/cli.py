@@ -16,6 +16,12 @@ Commands
     Play a churn trace with online greedy arrivals and periodic SLP1
     re-optimization; print the bandwidth trajectory.
 
+``runtime``
+    Solve an instance, then run the discrete-event dissemination runtime
+    over it: queued brokers, optional crash/recover fault injection with
+    greedy failover, optional mid-run churn, and telemetry (exportable
+    as JSON with ``--telemetry-json``).
+
 ``algorithms``
     List the registered algorithm names.
 """
@@ -31,8 +37,17 @@ import numpy as np
 from .bench.tables import format_table
 from .core.registry import algorithm_names, get_algorithm
 from .dynamic import DynamicPubSub, generate_churn_trace
-from .metrics import evaluate_solution, total_bandwidth
+from .metrics import evaluate_solution, runtime_report_rows, total_bandwidth
 from .pubsub import UniformEvents, simulate_dissemination
+from .runtime import (
+    BrokerOutage,
+    DisseminationEngine,
+    FaultPlan,
+    ReplayConfig,
+    RuntimeConfig,
+    apply_fault_plan,
+    replay_churn,
+)
 from .workloads import (
     GoogleGroupsConfig,
     GridConfig,
@@ -170,6 +185,87 @@ def _command_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_outage(spec: str) -> BrokerOutage:
+    """Parse ``NODE:START[:END]`` into a :class:`BrokerOutage`."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"bad --crash spec {spec!r}; expected NODE:START[:END]")
+    try:
+        node = int(parts[0])
+        start = float(parts[1])
+        end = float(parts[2]) if len(parts) == 3 else None
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad --crash spec {spec!r}: {exc}") from None
+    try:
+        return BrokerOutage(node=node, start=start, end=end)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _command_runtime(args: argparse.Namespace) -> int:
+    workload, problem = _build_problem(args)
+    fn = get_algorithm(args.algorithm)
+    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
+    solution = fn(problem, **kwargs)
+
+    events = UniformEvents(workload.event_domain)
+    rng = np.random.default_rng(args.seed)
+    try:
+        config = RuntimeConfig(
+            publish_interval=args.publish_interval,
+            service_time=args.service_time,
+            queue_capacity=args.queue_capacity,
+            link_loss=args.link_loss,
+            fault_seed=args.seed,
+            trace_events=args.trace_events)
+        plan = (FaultPlan(outages=tuple(args.crash),
+                          failover_delay=args.failover_delay)
+                if args.crash or args.link_loss else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.churn_horizon > 0:
+            trace = generate_churn_trace(
+                problem.num_subscribers, args.churn_horizon,
+                np.random.default_rng(args.seed),
+                initial_active_fraction=args.initial_fraction,
+                arrival_rate=args.churn_rate, departure_rate=args.churn_rate)
+            result, _system = replay_churn(
+                problem, trace, events, rng, args.events,
+                engine_config=config,
+                replay_config=ReplayConfig(reopt_every=args.reopt_every,
+                                           reopt_algorithm=args.algorithm,
+                                           reopt_seed=args.seed),
+                fault_plan=plan, failover=not args.no_failover)
+        else:
+            engine = DisseminationEngine(
+                problem.tree, solution.filters, solution.assignment,
+                problem.subscriptions, config=config,
+                subscriber_points=problem.subscriber_points)
+            if plan is not None:
+                apply_fault_plan(engine, plan,
+                                 problem if not args.no_failover else None,
+                                 failover=not args.no_failover)
+            result = engine.run(events, rng, args.events)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_table(
+        ["metric", "value"],
+        runtime_report_rows(result,
+                            domain_measure=workload.event_domain.volume())))
+    if args.telemetry_json:
+        result.telemetry.dump(args.telemetry_json)
+        print(f"telemetry written to {args.telemetry_json}")
+    fault_free = plan is None and args.churn_horizon == 0
+    return 1 if (fault_free and result.total_missed) else 0
+
+
 def _command_algorithms(_args: argparse.Namespace) -> int:
     for name in algorithm_names():
         print(name)
@@ -205,6 +301,37 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--initial-fraction", type=float, default=0.4)
     dynamic.add_argument("--reopt-every", type=int, default=15)
     dynamic.set_defaults(handler=_command_dynamic)
+
+    runtime = subparsers.add_parser(
+        "runtime",
+        help="discrete-event dissemination runtime with fault injection")
+    _add_instance_arguments(runtime)
+    runtime.add_argument("--algorithm", default="Gr*",
+                         choices=algorithm_names())
+    runtime.add_argument("--events", type=int, default=2000)
+    runtime.add_argument("--publish-interval", type=float, default=1.0)
+    runtime.add_argument("--service-time", type=float, default=0.0)
+    runtime.add_argument("--queue-capacity", type=int, default=None)
+    runtime.add_argument("--link-loss", type=float, default=0.0,
+                         help="per-hop message loss probability")
+    runtime.add_argument("--crash", type=_parse_outage, action="append",
+                         default=[], metavar="NODE:START[:END]",
+                         help="crash broker NODE at START, recover at END "
+                              "(repeatable)")
+    runtime.add_argument("--failover-delay", type=float, default=0.0,
+                         help="failure-detection lag before re-assignment")
+    runtime.add_argument("--no-failover", action="store_true",
+                         help="leave orphaned subscribers unrepaired")
+    runtime.add_argument("--churn-horizon", type=int, default=0,
+                         help="churn steps to replay mid-run (0 = frozen)")
+    runtime.add_argument("--churn-rate", type=float, default=10.0)
+    runtime.add_argument("--initial-fraction", type=float, default=0.5)
+    runtime.add_argument("--reopt-every", type=int, default=0)
+    runtime.add_argument("--trace-events", type=int, default=0,
+                         help="record trace spans for the first N events")
+    runtime.add_argument("--telemetry-json", default=None, metavar="PATH",
+                         help="export the run's telemetry as JSON")
+    runtime.set_defaults(handler=_command_runtime)
 
     algorithms = subparsers.add_parser("algorithms",
                                        help="list algorithm names")

@@ -200,18 +200,27 @@ class _TreeFilterState:
 def _greedy_assign_one(problem: SAProblem, state: _TreeFilterState,
                        loads: np.ndarray, j: int, respect_latency: bool,
                        lbf_stages: tuple[float, ...],
-                       population: int | None = None) -> tuple[int, bool]:
+                       population: int | None = None,
+                       allowed: np.ndarray | None = None) -> tuple[int, bool]:
     """Assign subscriber ``j``; returns (leaf_row, load_cap_respected).
 
     ``population`` is the subscriber count the load caps are relative to;
     it defaults to the full problem size (offline use) and is the current
-    active count in the dynamic manager.
+    active count in the dynamic manager.  ``allowed`` optionally restricts
+    the candidate leaf rows (the runtime's failover repair excludes
+    unreachable brokers); it is a hard constraint — even the best-effort
+    fallback stays inside it.
     """
     m = population if population is not None else problem.num_subscribers
     if respect_latency:
         latency_ok = problem.feasible_leaf[:, j]
     else:
         latency_ok = np.ones(problem.num_leaf_brokers, dtype=bool)
+    if allowed is not None:
+        allowed = np.asarray(allowed, dtype=bool)
+        if not allowed.any():
+            raise ValueError("no allowed leaf brokers to assign to")
+        latency_ok = latency_ok & allowed
 
     candidate_rows = np.empty(0, dtype=int)
     cap_respected = True
@@ -227,7 +236,8 @@ def _greedy_assign_one(problem: SAProblem, state: _TreeFilterState,
         cap_respected = False
         candidate_rows = np.flatnonzero(latency_ok)
         if not len(candidate_rows):
-            candidate_rows = np.arange(problem.num_leaf_brokers)
+            candidate_rows = (np.flatnonzero(allowed) if allowed is not None
+                              else np.arange(problem.num_leaf_brokers))
 
     sub_lo = problem.subscriptions.lo[j]
     sub_hi = problem.subscriptions.hi[j]

@@ -9,7 +9,7 @@ from .load import (
     load_stdev,
     overloaded_fraction,
 )
-from .report import SolutionReport, evaluate_solution
+from .report import SolutionReport, evaluate_solution, runtime_report_rows
 
 __all__ = [
     "total_bandwidth",
@@ -24,4 +24,5 @@ __all__ = [
     "BoxplotStats",
     "SolutionReport",
     "evaluate_solution",
+    "runtime_report_rows",
 ]

@@ -16,7 +16,7 @@ from .bandwidth import total_bandwidth
 from .delay import max_delay, rms_delay
 from .load import load_stdev
 
-__all__ = ["SolutionReport", "evaluate_solution"]
+__all__ = ["SolutionReport", "evaluate_solution", "runtime_report_rows"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,46 @@ class SolutionReport:
             "fractional": self.fractional_bandwidth,
             "runtime_s": self.runtime_seconds,
         }
+
+
+def runtime_report_rows(result, domain_measure: float | None = None,
+                        ) -> list[list[object]]:
+    """Flatten a runtime result into ``[metric, value]`` report rows.
+
+    ``result`` is a :class:`repro.runtime.RuntimeResult` (typed loosely
+    to keep this module free of a runtime dependency).  The rows combine
+    the batch-comparable counts with the runtime-only telemetry: queue
+    peaks, drops, crash losses, failover migrations, and the outage
+    windows captured as spans.
+    """
+    telemetry = result.telemetry
+    counter = lambda name: telemetry.counter(name).value  # noqa: E731
+    rows: list[list[object]] = [
+        ["events published", result.num_events],
+        ["broker entries", result.total_broker_entries],
+        ["deliveries", result.total_deliveries],
+        ["missed deliveries", result.total_missed],
+        ["delivery rate", result.delivery_rate],
+        ["mean delivery latency", result.mean_delivery_latency],
+        ["p90 delivery latency",
+         telemetry.histogram("delivery_latency").quantile(0.9)],
+        ["simulated duration", result.duration],
+        ["peak queue depth", int(result.queue_peaks.max())
+         if result.queue_peaks.size else 0],
+        ["backpressure drops", counter("events_dropped_backpressure")],
+        ["link drops", counter("link_drops")],
+        ["events lost to crashes", counter("events_lost_crashed")],
+        ["failover migrations", counter("failover_migrations")],
+    ]
+    if domain_measure is not None:
+        rows.append(["empirical Q(T)",
+                     result.empirical_bandwidth(domain_measure)])
+    for span in telemetry.spans:
+        if span.name.startswith("outage"):
+            rows.append([span.name,
+                         f"[{span.start:g}, {span.end:g}]"
+                         if span.end is not None else f"[{span.start:g}, ...)"])
+    return rows
 
 
 def evaluate_solution(name: str, solution: SASolution,

@@ -4,7 +4,8 @@ from .events import EventDistribution, PiecewiseUniformEvents, UniformEvents
 from .filters import Filter
 from .matching import BruteForceMatcher, GridMatcher
 from .rtree import RTreeMatcher
-from .simulator import SimulationResult, simulate_dissemination
+from .simulator import (SimulationResult, sample_event_stream,
+                        simulate_dissemination)
 
 __all__ = [
     "Filter",
@@ -15,5 +16,6 @@ __all__ = [
     "GridMatcher",
     "RTreeMatcher",
     "SimulationResult",
+    "sample_event_stream",
     "simulate_dissemination",
 ]

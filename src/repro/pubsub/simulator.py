@@ -28,7 +28,34 @@ from ..network.tree import PUBLISHER, BrokerTree
 from .events import EventDistribution
 from .filters import Filter
 
-__all__ = ["SimulationResult", "simulate_dissemination"]
+__all__ = ["SimulationResult", "sample_event_stream", "simulate_dissemination"]
+
+
+def sample_event_stream(distribution: EventDistribution,
+                        rng: np.random.Generator,
+                        num_events: int,
+                        chunk_size: int = 512) -> np.ndarray:
+    """Sample ``num_events`` event points with the simulator's chunking.
+
+    Drawing in ``chunk_size`` batches is how :func:`simulate_dissemination`
+    consumes the RNG; sampling through this helper with the same generator
+    state therefore yields the *identical* point sequence, which is what
+    lets the discrete-event runtime (:mod:`repro.runtime`) reproduce the
+    batch simulation exactly on a shared seed.
+    """
+    if num_events < 0:
+        raise ValueError("num_events must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if num_events == 0:
+        return np.empty((0, distribution.domain.dim))
+    chunks = []
+    remaining = num_events
+    while remaining > 0:
+        batch = min(chunk_size, remaining)
+        remaining -= batch
+        chunks.append(distribution.sample(rng, batch))
+    return np.concatenate(chunks, axis=0)
 
 
 @dataclass(frozen=True)
@@ -66,6 +93,19 @@ class SimulationResult:
         if delivered == 0:
             return 0.0
         return self.total_delivery_latency / float(delivered)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction of matched events (1.0 when nothing matched).
+
+        Guarded against the empty cases: zero events, zero subscribers,
+        or zero matching events all report a perfect rate rather than
+        dividing by zero.
+        """
+        expected = int(self.deliveries.sum()) + int(self.missed.sum())
+        if expected == 0:
+            return 1.0
+        return float(self.deliveries.sum()) / expected
 
 
 def simulate_dissemination(tree: BrokerTree,

@@ -1,0 +1,36 @@
+"""Discrete-event dissemination runtime: queues, faults, churn, telemetry.
+
+The static algorithms pick an assignment; this package runs it.  A
+deterministic event-heap engine pushes sampled events through the broker
+tree with per-link latencies, per-broker ingress queues, and service
+rates; fault injection crashes brokers and drops links with greedy
+failover re-assignment; a replay driver plays `repro.dynamic` churn
+traces mid-run; and a telemetry layer records counters, gauges, latency
+histograms, and trace spans with JSON export.
+
+With zero faults, zero service time, and a frozen population the engine
+reproduces :func:`repro.pubsub.simulate_dissemination` exactly on a
+shared RNG seed — the batch model is the runtime's correctness anchor.
+"""
+
+from .engine import DisseminationEngine, RuntimeConfig, RuntimeResult
+from .faults import BrokerOutage, FaultPlan, GreedyFailover, apply_fault_plan
+from .replay import ReplayConfig, replay_churn
+from .telemetry import Counter, Gauge, Histogram, Telemetry, TraceSpan
+
+__all__ = [
+    "DisseminationEngine",
+    "RuntimeConfig",
+    "RuntimeResult",
+    "BrokerOutage",
+    "FaultPlan",
+    "GreedyFailover",
+    "apply_fault_plan",
+    "ReplayConfig",
+    "replay_churn",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "TraceSpan",
+]

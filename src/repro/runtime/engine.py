@@ -1,0 +1,485 @@
+"""Deterministic discrete-event simulation of the broker overlay.
+
+The batch simulator (:mod:`repro.pubsub.simulator`) answers "how much
+traffic does this assignment cost" by pushing all events through the
+tree at once.  This engine answers the *temporal* questions the batch
+model abstracts away: what happens when events queue up behind slow
+brokers, when a broker crashes mid-run, when links drop messages, and
+when subscribers churn while traffic is flowing.
+
+Model
+-----
+
+* The publisher emits sampled events at ``publish_interval`` spacing.
+* A message travels a tree edge in the edge's latency (Euclidean hop
+  distance, exactly the :class:`~repro.network.tree.BrokerTree` model).
+* Each broker has a FIFO ingress queue and a configurable per-event
+  ``service_time``; an optional ``queue_capacity`` drops arrivals when
+  the queue is full (backpressure), which the telemetry accounts.
+* A broker forwards a serviced event to each child whose filter matches;
+  leaf brokers additionally deliver to their assigned subscribers whose
+  subscription contains the event.
+* Control actions (faults, churn, reassignment) are scheduled at
+  arbitrary times via :meth:`DisseminationEngine.schedule`.
+
+Correctness anchor: with zero faults, zero service time, and a frozen
+population, a run over the same RNG-sampled event stream reproduces
+``simulate_dissemination`` *exactly* — same per-broker entry counts,
+same deliveries, same misses (``tests/test_runtime_engine.py``).
+
+Everything is deterministic: the event stream comes from the caller's
+RNG, link loss from a separately seeded generator, and heap ties are
+broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..geometry import RectSet
+from ..network.tree import PUBLISHER, BrokerTree
+from ..pubsub.events import EventDistribution
+from ..pubsub.filters import Filter
+from ..pubsub.simulator import SimulationResult, sample_event_stream
+from .telemetry import Telemetry
+
+__all__ = ["RuntimeConfig", "RuntimeResult", "DisseminationEngine"]
+
+# Control actions run before message arrivals scheduled at the same
+# timestamp (a crash at t affects the event arriving at t), and
+# publishes run after arrivals so in-flight work drains first.
+_PRIO_CONTROL, _PRIO_ARRIVE, _PRIO_PUBLISH = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the discrete-event runtime."""
+
+    publish_interval: float = 1.0   #: simulated time between published events
+    service_time: float = 0.0       #: per-event service time at every broker
+    queue_capacity: int | None = None  #: max ingress queue depth (None = unbounded)
+    link_loss: float = 0.0          #: per-hop message loss probability
+    fault_seed: int = 0             #: seed of the loss RNG (independent of events)
+    trace_events: int = 0           #: record a trace span for the first N events
+
+    def __post_init__(self) -> None:
+        if self.publish_interval < 0:
+            raise ValueError("publish_interval must be non-negative")
+        if self.service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1 (or None)")
+        if not (0.0 <= self.link_loss < 1.0):
+            raise ValueError("link_loss must be in [0, 1)")
+        if self.trace_events < 0:
+            raise ValueError("trace_events must be non-negative")
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Counts and telemetry of one engine run.
+
+    The count fields mirror :class:`~repro.pubsub.simulator.SimulationResult`
+    so the two can be compared directly (see :meth:`as_simulation_result`).
+    """
+
+    num_events: int
+    node_entries: np.ndarray       #: events that entered each tree node
+    deliveries: np.ndarray         #: deliveries per subscriber
+    missed: np.ndarray             #: matched-but-undelivered events per subscriber
+    total_delivery_latency: float
+    duration: float                #: simulated time of the last processed action
+    queue_peaks: np.ndarray        #: max ingress queue depth seen per node
+    telemetry: Telemetry
+
+    @property
+    def total_broker_entries(self) -> int:
+        """Total inbound broker traffic (excludes the publisher itself)."""
+        return int(self.node_entries[1:].sum())
+
+    @property
+    def total_deliveries(self) -> int:
+        return int(self.deliveries.sum())
+
+    @property
+    def total_missed(self) -> int:
+        return int(self.missed.sum())
+
+    @property
+    def mean_delivery_latency(self) -> float:
+        delivered = self.deliveries.sum()
+        if delivered == 0:
+            return 0.0
+        return self.total_delivery_latency / float(delivered)
+
+    def empirical_bandwidth(self, domain_measure: float) -> float:
+        """Traffic fraction scaled to the domain measure (see the batch sim)."""
+        if self.num_events == 0:
+            return 0.0
+        return self.total_broker_entries / self.num_events * domain_measure
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of matched events actually delivered (1.0 when none matched)."""
+        expected = int(self.deliveries.sum()) + int(self.missed.sum())
+        if expected == 0:
+            return 1.0
+        return float(self.deliveries.sum()) / expected
+
+    def events_per_time(self) -> float:
+        """Published events per unit of simulated time."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.num_events / self.duration
+
+    def as_simulation_result(self) -> SimulationResult:
+        """View as a batch :class:`SimulationResult` for metric reuse."""
+        return SimulationResult(
+            num_events=self.num_events,
+            node_entries=self.node_entries,
+            deliveries=self.deliveries,
+            missed=self.missed,
+            total_delivery_latency=self.total_delivery_latency)
+
+
+class _BrokerState:
+    """Mutable per-broker runtime state: liveness, queue, service."""
+
+    __slots__ = ("alive", "busy", "queue", "peak")
+
+    def __init__(self) -> None:
+        self.alive = True
+        self.busy = False
+        self.queue: deque[tuple[int, float]] = deque()  # (event idx, arrival t)
+        self.peak = 0
+
+
+class DisseminationEngine:
+    """The discrete-event runtime over one broker tree.
+
+    Parameters
+    ----------
+    tree, filters, assignment, subscriptions:
+        Exactly the batch simulator's inputs; ``assignment[j]`` is the
+        leaf node id serving subscriber ``j`` or ``-1`` for an inactive
+        subscriber (churn).  Filters and assignment may be replaced
+        mid-run via :meth:`update_filters` / :meth:`update_assignment`
+        (the fault and replay drivers do).
+    subscriber_points:
+        Optional subscriber network positions; adds the leaf-to-subscriber
+        last hop to delivery latency, matching the batch simulator.
+    """
+
+    def __init__(self,
+                 tree: BrokerTree,
+                 filters: dict[int, Filter],
+                 assignment: np.ndarray,
+                 subscriptions: RectSet,
+                 *,
+                 config: RuntimeConfig | None = None,
+                 subscriber_points: np.ndarray | None = None,
+                 telemetry: Telemetry | None = None):
+        self.tree = tree
+        self.config = config or RuntimeConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+        for node in range(1, tree.num_nodes):
+            if node not in filters:
+                raise ValueError(f"missing filter for broker node {node}")
+        self._filters = dict(filters)
+
+        self._subscriptions = subscriptions
+        assignment = np.asarray(assignment, dtype=int).copy()
+        if assignment.shape != (len(subscriptions),):
+            raise ValueError("assignment must map every subscriber to a leaf "
+                             "node id (or -1 for inactive)")
+        self._assignment = assignment
+        if subscriber_points is not None:
+            pts = np.asarray(subscriber_points, dtype=float)
+            if pts.shape[0] != len(subscriptions):
+                raise ValueError("one network position per subscriber required")
+            self._subscriber_points: np.ndarray | None = pts
+        else:
+            self._subscriber_points = None
+
+        # Hop latency parent -> node, per node (publisher row unused).
+        parents = tree.parents
+        self._hop = np.zeros(tree.num_nodes)
+        for v in range(1, tree.num_nodes):
+            self._hop[v] = tree.down_latency[v] - tree.down_latency[int(parents[v])]
+
+        self._brokers = [_BrokerState() for _ in range(tree.num_nodes)]
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._controls: list[tuple[float, Callable[
+            ["DisseminationEngine", float], None]]] = []
+        self._loss_rng = np.random.default_rng(self.config.fault_seed)
+        self._failover: Callable[["DisseminationEngine", float, int], None] | None = None
+
+        m = len(subscriptions)
+        self._node_entries = np.zeros(tree.num_nodes, dtype=np.int64)
+        self._deliveries = np.zeros(m, dtype=np.int64)
+        self._matched = np.zeros(m, dtype=np.int64)
+        self._total_latency = 0.0
+        self._now = 0.0
+        self._events: np.ndarray | None = None
+        self._traces: list[Any] = []
+
+    # -- live state accessors ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def assignment(self) -> np.ndarray:
+        return self._assignment.copy()
+
+    @property
+    def filters(self) -> dict[int, Filter]:
+        return dict(self._filters)
+
+    def is_alive(self, node: int) -> bool:
+        return self._brokers[node].alive
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        return np.array([b.alive for b in self._brokers], dtype=bool)
+
+    def reachable_leaf_rows(self) -> np.ndarray:
+        """Boolean mask over leaf rows whose full path to the root is alive."""
+        alive = self.alive_mask
+        mask = np.zeros(self.tree.num_leaves, dtype=bool)
+        for row, leaf in enumerate(self.tree.leaves):
+            mask[row] = all(alive[v] for v in self.tree.path_to_root(int(leaf))
+                            if v != PUBLISHER)
+        return mask
+
+    # -- mid-run mutation (faults / churn drivers) ---------------------------
+
+    def update_filters(self, filters: dict[int, Filter]) -> None:
+        """Replace broker filters (e.g. after failover regrowth)."""
+        self._filters.update(filters)
+
+    def update_assignment(self, assignment: np.ndarray) -> None:
+        """Replace the subscriber -> leaf assignment (churn, failover)."""
+        assignment = np.asarray(assignment, dtype=int)
+        if assignment.shape != self._assignment.shape:
+            raise ValueError("assignment shape must not change mid-run")
+        self._assignment[:] = assignment
+
+    def set_failover(self, handler: Callable[
+            ["DisseminationEngine", float, int], None] | None) -> None:
+        """Install a crash handler ``handler(engine, time, crashed_node)``."""
+        self._failover = handler
+
+    def schedule(self, time: float,
+                 action: Callable[["DisseminationEngine", float], None]) -> None:
+        """Schedule ``action(engine, time)`` as a control at a simulated time."""
+        self._controls.append((float(time), action))
+
+    def schedule_crash(self, time: float, node: int) -> None:
+        self._validate_broker(node)
+        self.schedule(time, lambda eng, t, _n=node: eng._crash(_n, t))
+
+    def schedule_recover(self, time: float, node: int) -> None:
+        self._validate_broker(node)
+        self.schedule(time, lambda eng, t, _n=node: eng._recover(_n, t))
+
+    def _validate_broker(self, node: int) -> None:
+        if not (0 < node < self.tree.num_nodes):
+            raise ValueError(f"node {node} is not a broker "
+                             f"(valid: 1..{self.tree.num_nodes - 1})")
+
+    # -- fault transitions ---------------------------------------------------
+
+    def _crash(self, node: int, time: float) -> None:
+        state = self._brokers[node]
+        if not state.alive:
+            return
+        state.alive = False
+        dropped = len(state.queue) + (1 if state.busy else 0)
+        if dropped:
+            self.telemetry.counter("events_lost_crashed").inc(dropped)
+        state.queue.clear()
+        state.busy = False
+        self.telemetry.counter("broker_crashes").inc()
+        self.telemetry.span(f"outage[node={node}]", time, node=node)
+        if self._failover is not None:
+            self._failover(self, time, node)
+
+    def _recover(self, node: int, time: float) -> None:
+        state = self._brokers[node]
+        if state.alive:
+            return
+        state.alive = True
+        self.telemetry.counter("broker_recoveries").inc()
+        for span in self.telemetry.find_spans(f"outage[node={node}]"):
+            if span.end is None:
+                span.close(time)
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self,
+            distribution: EventDistribution,
+            rng: np.random.Generator,
+            num_events: int,
+            chunk_size: int = 512) -> RuntimeResult:
+        """Publish ``num_events`` sampled events and drain the overlay.
+
+        The stream is sampled with the same chunking as the batch
+        simulator, so the same ``rng`` state yields the identical
+        sequence of event points.
+        """
+        if num_events < 0:
+            raise ValueError("num_events must be non-negative")
+        self._events = sample_event_stream(distribution, rng, num_events,
+                                           chunk_size)
+        for time, action in sorted(self._controls, key=lambda c: c[0]):
+            self._push(time, _PRIO_CONTROL, action)
+        self._controls.clear()
+        for k in range(num_events):
+            self._push(k * self.config.publish_interval, _PRIO_PUBLISH, k)
+
+        heap = self._heap
+        while heap:
+            time, prio, _seq, payload = heapq.heappop(heap)
+            self._now = max(self._now, time)
+            if prio == _PRIO_CONTROL:
+                payload(self, time)
+            elif prio == _PRIO_PUBLISH:
+                self._publish(int(payload), time)
+            else:
+                node, event_idx, kind = payload
+                if kind == "arrive":
+                    self._arrive(node, event_idx, time)
+                else:
+                    self._serve(node, event_idx, time)
+
+        for span in self.telemetry.open_spans():
+            span.close(self._now)
+        missed = np.maximum(self._matched - self._deliveries, 0)
+        self.telemetry.counter("missed_deliveries").inc(int(missed.sum()))
+        peaks = np.array([b.peak for b in self._brokers], dtype=np.int64)
+        if peaks.size:
+            self.telemetry.gauge("queue_depth_peak").set(int(peaks.max()))
+        return RuntimeResult(
+            num_events=num_events,
+            node_entries=self._node_entries.copy(),
+            deliveries=self._deliveries.copy(),
+            missed=missed,
+            total_delivery_latency=self._total_latency,
+            duration=self._now,
+            queue_peaks=peaks,
+            telemetry=self.telemetry)
+
+    def _push(self, time: float, prio: int, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, prio, self._seq, payload))
+        self._seq += 1
+
+    # -- message lifecycle ---------------------------------------------------
+
+    def _publish(self, k: int, time: float) -> None:
+        point = self._events[k]
+        self._node_entries[PUBLISHER] += 1
+        self.telemetry.counter("events_published").inc()
+
+        # Record which active subscribers *should* receive this event;
+        # deliveries are debited against this at the end of the run.
+        active = self._assignment >= 0
+        if active.any():
+            matches = self._subscriptions.contains_points(
+                point[None, :])[:, 0] & active
+            self._matched[matches] += 1
+
+        if k < self.config.trace_events:
+            span = self.telemetry.span(f"event[{k}]", time, event=k, hops=0,
+                                       deliveries=0)
+            self._traces.append(span)
+
+        self._forward(PUBLISHER, k, time)
+
+    def _forward(self, node: int, k: int, time: float) -> None:
+        """Send event ``k`` from ``node`` to each matching child."""
+        point = self._events[k]
+        for child in self.tree.children(node):
+            if not self._filters[child].contains_point(point):
+                continue
+            if self.config.link_loss > 0.0 and \
+                    self._loss_rng.random() < self.config.link_loss:
+                self.telemetry.counter("link_drops").inc()
+                continue
+            self._push(time + self._hop[child], _PRIO_ARRIVE,
+                       (child, k, "arrive"))
+
+    def _arrive(self, node: int, k: int, time: float) -> None:
+        state = self._brokers[node]
+        if not state.alive:
+            self.telemetry.counter("events_lost_crashed").inc()
+            return
+        self._node_entries[node] += 1
+        self.telemetry.counter("broker_entries").inc()
+        if k < self.config.trace_events:
+            span = self._traces[k]
+            span.attributes["hops"] += 1
+            span.end = time
+
+        if state.busy:
+            capacity = self.config.queue_capacity
+            if capacity is not None and len(state.queue) >= capacity:
+                self.telemetry.counter("events_dropped_backpressure").inc()
+                return
+            state.queue.append((k, time))
+            state.peak = max(state.peak, len(state.queue))
+        else:
+            state.busy = True
+            self._push(time + self.config.service_time, _PRIO_ARRIVE,
+                       (node, k, "serve"))
+
+    def _serve(self, node: int, k: int, time: float) -> None:
+        state = self._brokers[node]
+        if not state.alive:
+            # Crash raced the in-flight service completion; already counted.
+            return
+        if self.tree.is_leaf(node):
+            self._deliver(node, k, time)
+        self._forward(node, k, time)
+
+        if state.queue:
+            next_k, queued_at = state.queue.popleft()
+            self.telemetry.histogram("queue_wait").observe(time - queued_at)
+            self._push(time + self.config.service_time, _PRIO_ARRIVE,
+                       (node, next_k, "serve"))
+        else:
+            state.busy = False
+
+    def _deliver(self, leaf: int, k: int, time: float) -> None:
+        members = np.flatnonzero(self._assignment == leaf)
+        if len(members) == 0:
+            return
+        point = self._events[k]
+        mask = self._subscriptions.take(members).contains_points(
+            point[None, :])[:, 0]
+        receivers = members[mask]
+        if len(receivers) == 0:
+            return
+        self._deliveries[receivers] += 1
+        publish_time = k * self.config.publish_interval
+        latency = np.full(len(receivers), time - publish_time)
+        if self._subscriber_points is not None:
+            latency = latency + np.linalg.norm(
+                self.tree.positions[leaf] - self._subscriber_points[receivers],
+                axis=1)
+        self._total_latency += float(latency.sum())
+        self.telemetry.counter("deliveries").inc(len(receivers))
+        self.telemetry.histogram("delivery_latency").observe_many(latency)
+        if k < self.config.trace_events:
+            span = self._traces[k]
+            span.attributes["deliveries"] += len(receivers)
+            span.end = time

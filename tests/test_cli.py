@@ -28,6 +28,18 @@ class TestParser:
             args = build_parser().parse_args(["run", "--workload", wl])
             assert args.workload == wl
 
+    def test_runtime_crash_spec(self):
+        args = build_parser().parse_args(
+            ["runtime", "--crash", "3:10", "--crash", "4:20:50"])
+        assert [(o.node, o.start, o.end) for o in args.crash] == [
+            (3, 10.0, None), (4, 20.0, 50.0)]
+
+    def test_runtime_bad_crash_spec_rejected(self):
+        # Malformed specs and the un-crashable publisher node 0.
+        for spec in ("3", "x:10", "3:10:20:30", "3:oops", "0:10"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["runtime", "--crash", spec])
+
 
 class TestCommands:
     def test_algorithms_lists_registry(self, capsys):
@@ -69,3 +81,32 @@ class TestCommands:
     def test_beta_overrides(self, capsys):
         assert main(["run", *SMALL, "--beta", "2.0", "--beta-max", "2.5",
                      "--algorithms", "Gr"]) == 0
+
+    def test_runtime_fault_free(self, capsys):
+        assert main(["runtime", *SMALL, "--events", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "events published" in out
+        assert "delivery rate" in out
+
+    def test_runtime_crash_with_failover(self, capsys, tmp_path):
+        path = tmp_path / "telemetry.json"
+        assert main(["runtime", *SMALL, "--events", "300",
+                     "--crash", "2:50:200",
+                     "--telemetry-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outage" in out
+        assert "failover migrations" in out
+        assert path.exists()
+
+    def test_runtime_churn_replay(self, capsys):
+        assert main(["runtime", *SMALL, "--events", "200",
+                     "--churn-horizon", "4", "--reopt-every", "2"]) == 0
+        assert "delivery rate" in capsys.readouterr().out
+
+    def test_runtime_invalid_config_exits_cleanly(self, capsys):
+        # Engine-level validation errors surface as CLI errors, not
+        # tracebacks: exit code 2 and a one-line message on stderr.
+        assert main(["runtime", *SMALL, "--link-loss", "1.5"]) == 2
+        assert "link_loss" in capsys.readouterr().err
+        assert main(["runtime", *SMALL, "--crash", "99:5"]) == 2
+        assert "not a broker" in capsys.readouterr().err

@@ -16,6 +16,7 @@ from repro import (
     offline_greedy,
     simulate_dissemination,
 )
+from repro.pubsub import SimulationResult, sample_event_stream
 from repro.geometry import Rect, RectSet
 from repro.metrics import total_bandwidth
 from repro.network import BrokerTree
@@ -129,3 +130,65 @@ class TestSimulator:
             subscriber_points=problem.subscriber_points)
         if result.deliveries.sum() > 0:
             assert result.mean_delivery_latency > 0.0
+
+
+class TestEmptyInputGuards:
+    """Regression tests: the result accessors must not divide by zero."""
+
+    @staticmethod
+    def empty_result(num_subscribers=0):
+        return SimulationResult(
+            num_events=0,
+            node_entries=np.zeros(3, dtype=np.int64),
+            deliveries=np.zeros(num_subscribers, dtype=np.int64),
+            missed=np.zeros(num_subscribers, dtype=np.int64),
+            total_delivery_latency=0.0)
+
+    def test_zero_events_accessors(self):
+        result = self.empty_result(num_subscribers=5)
+        assert result.total_broker_entries == 0
+        assert result.empirical_bandwidth(100.0) == 0.0
+        assert result.mean_delivery_latency == 0.0
+        assert result.delivery_rate == 1.0
+
+    def test_zero_subscribers_accessors(self):
+        result = self.empty_result(num_subscribers=0)
+        assert result.mean_delivery_latency == 0.0
+        assert result.delivery_rate == 1.0
+
+    def test_zero_event_simulation(self, rng):
+        problem = make_problem(rng, m=10)
+        solution = offline_greedy(problem)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(
+            problem.tree, solution.filters, solution.assignment,
+            problem.subscriptions, dist, rng, num_events=0)
+        assert result.node_entries.sum() == 0
+        assert result.deliveries.sum() == 0
+        assert result.delivery_rate == 1.0
+        assert result.mean_delivery_latency == 0.0
+
+    def test_zero_subscriber_simulation(self, rng):
+        points = rng.normal(size=(0, 3))
+        tree = build_one_level_tree(np.zeros(3), rng.normal(size=(2, 3)))
+        subs = RectSet(np.empty((0, 2)), np.empty((0, 2)))
+        params = SAParameters(max_delay=5.0, beta=2.0, beta_max=2.0)
+        problem = SAProblem(tree, points, subs, params)
+        assignment = np.empty(0, dtype=int)
+        filters = filters_from_assignment(problem, assignment, rng)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(tree, filters, assignment, subs,
+                                        dist, rng, num_events=100)
+        assert result.deliveries.shape == (0,)
+        assert result.missed.shape == (0,)
+        assert result.delivery_rate == 1.0
+        assert result.mean_delivery_latency == 0.0
+
+    def test_sample_event_stream_guards(self):
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        rng = np.random.default_rng(0)
+        assert sample_event_stream(dist, rng, 0).shape == (0, 2)
+        with pytest.raises(ValueError):
+            sample_event_stream(dist, rng, -1)
+        with pytest.raises(ValueError):
+            sample_event_stream(dist, rng, 10, chunk_size=0)

@@ -3,13 +3,19 @@
 import numpy as np
 import pytest
 
+import json
+import os
+
 from repro import ALGORITHMS, algorithm_names, get_algorithm
 from repro.bench import (
     average_reports,
     format_series,
     format_table,
+    json_output_dir,
     run_algorithms,
+    write_bench_json,
 )
+from repro.bench.harness import JSON_ENV_VAR
 
 
 class TestRegistry:
@@ -80,3 +86,33 @@ class TestTables:
         out = format_series("bw", [(1, 10.0), (2, 20.0)])
         assert "series: bw" in out
         assert "10" in out
+
+
+class TestBenchJson:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(JSON_ENV_VAR, raising=False)
+        assert json_output_dir() is None
+        assert write_bench_json("noop", {"rows": []}) is None
+
+    def test_writes_numpy_payload(self, tmp_path):
+        payload = {
+            "rows": [[np.int64(3), np.float64(1.5), np.bool_(True)]],
+            "series": np.arange(3),
+        }
+        path = write_bench_json("demo", payload, directory=str(tmp_path))
+        assert path == str(tmp_path / "BENCH_demo.json")
+        data = json.loads(open(path).read())
+        assert data["rows"] == [[3, 1.5, True]]
+        assert data["series"] == [0, 1, 2]
+
+    def test_env_var_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(JSON_ENV_VAR, str(tmp_path))
+        assert json_output_dir() == str(tmp_path)
+        path = write_bench_json("env", {"x": 1})
+        assert path is not None
+        assert os.path.dirname(path) == str(tmp_path)
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_bench_json("bad", {"x": object()},
+                             directory=str(tmp_path))

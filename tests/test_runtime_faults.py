@@ -1,0 +1,168 @@
+"""Fault injection and failover tests for the runtime engine.
+
+Missed-delivery accounting while a leaf broker is crashed, greedy
+failover restoring deliveries, and the telemetry outage window.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BrokerOutage,
+    DisseminationEngine,
+    FaultPlan,
+    RuntimeConfig,
+    UniformEvents,
+    apply_fault_plan,
+    offline_greedy,
+)
+from repro.geometry import Rect
+
+
+DIST = UniformEvents(Rect([0, 0], [100, 100]))
+NUM_EVENTS = 600
+
+
+def make_engine(problem, solution, **config_kwargs):
+    return DisseminationEngine(
+        problem.tree, solution.filters, solution.assignment,
+        problem.subscriptions, config=RuntimeConfig(**config_kwargs),
+        subscriber_points=problem.subscriber_points)
+
+
+def victim_leaf(problem, solution):
+    """The most loaded leaf — crashing it visibly costs deliveries."""
+    loads = problem.loads(solution.assignment)
+    return int(problem.tree.leaves[int(loads.argmax())])
+
+
+class TestCrashAccounting:
+    def test_crashed_leaf_causes_misses(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        plan = FaultPlan(outages=(BrokerOutage(victim, 100.0, 400.0),))
+
+        clean = make_engine(tiny_problem, solution).run(
+            DIST, np.random.default_rng(7), NUM_EVENTS)
+        engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(engine, plan, failover=False)
+        faulty = engine.run(DIST, np.random.default_rng(7), NUM_EVENTS)
+
+        assert clean.total_missed == 0
+        assert faulty.total_missed > 0
+        assert faulty.total_deliveries < clean.total_deliveries
+        # Every matched event is either delivered or missed, never both.
+        assert (faulty.total_deliveries + faulty.total_missed
+                == clean.total_deliveries)
+        # Only the victim's subscribers miss anything.
+        missers = np.flatnonzero(faulty.missed)
+        assert len(missers) > 0
+        assert set(solution.assignment[missers]) == {victim}
+
+    def test_recovery_resumes_deliveries(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        # Crash early and recover early: post-recovery events flow again.
+        plan = FaultPlan(outages=(BrokerOutage(victim, 10.0, 50.0),))
+        engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(engine, plan, failover=False)
+        result = engine.run(DIST, np.random.default_rng(7), NUM_EVENTS)
+        members = np.flatnonzero(solution.assignment == victim)
+        assert result.deliveries[members].sum() > 0
+        assert result.telemetry.counter("broker_recoveries").value == 1
+
+    def test_outage_window_in_telemetry(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        plan = FaultPlan(outages=(BrokerOutage(victim, 100.0, 400.0),))
+        engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(engine, plan, failover=False)
+        result = engine.run(DIST, np.random.default_rng(7), NUM_EVENTS)
+
+        spans = result.telemetry.find_spans(f"outage[node={victim}]")
+        assert len(spans) == 1
+        assert spans[0].start == 100.0
+        assert spans[0].end == 400.0
+        assert result.telemetry.counter("broker_crashes").value == 1
+
+    def test_open_ended_outage_closed_at_run_end(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        plan = FaultPlan(outages=(BrokerOutage(victim, 100.0),))
+        engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(engine, plan, failover=False)
+        result = engine.run(DIST, np.random.default_rng(7), NUM_EVENTS)
+        span = result.telemetry.find_spans(f"outage[node={victim}]")[0]
+        assert span.end is not None
+        assert span.end >= 100.0
+        assert result.telemetry.counter("broker_recoveries").value == 0
+
+
+class TestFailover:
+    def test_failover_restores_deliveries(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        plan = FaultPlan(outages=(BrokerOutage(victim, 100.0, 400.0),))
+
+        unrepaired_engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(unrepaired_engine, plan, failover=False)
+        unrepaired = unrepaired_engine.run(DIST, np.random.default_rng(7),
+                                           NUM_EVENTS)
+
+        repaired_engine = make_engine(tiny_problem, solution)
+        apply_fault_plan(repaired_engine, plan, problem=tiny_problem)
+        repaired = repaired_engine.run(DIST, np.random.default_rng(7),
+                                       NUM_EVENTS)
+
+        migrated = repaired.telemetry.counter("failover_migrations").value
+        orphans = int((solution.assignment == victim).sum())
+        assert migrated == orphans
+        assert repaired.total_missed < unrepaired.total_missed
+        assert repaired.total_deliveries > unrepaired.total_deliveries
+        # Migrated subscribers end up on surviving leaves.
+        assert victim not in set(repaired_engine.assignment)
+
+    def test_failover_requires_problem(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        victim = victim_leaf(tiny_problem, solution)
+        plan = FaultPlan(outages=(BrokerOutage(victim, 1.0),))
+        with pytest.raises(ValueError):
+            apply_fault_plan(make_engine(tiny_problem, solution), plan)
+
+
+class TestLinkLoss:
+    def test_lossy_links_lose_traffic_deterministically(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        clean = make_engine(tiny_problem, solution).run(
+            DIST, np.random.default_rng(7), NUM_EVENTS)
+        lossy = [make_engine(tiny_problem, solution, link_loss=0.2,
+                             fault_seed=11).run(
+                     DIST, np.random.default_rng(7), NUM_EVENTS)
+                 for _ in range(2)]
+        assert lossy[0].telemetry.counter("link_drops").value > 0
+        assert lossy[0].total_deliveries < clean.total_deliveries
+        assert lossy[0].total_missed > 0
+        # The loss RNG is seeded independently of the event stream.
+        assert np.array_equal(lossy[0].deliveries, lossy[1].deliveries)
+
+
+class TestOutageValidation:
+    def test_publisher_cannot_crash(self):
+        with pytest.raises(ValueError):
+            BrokerOutage(0, 1.0)
+
+    def test_end_must_follow_start(self):
+        with pytest.raises(ValueError):
+            BrokerOutage(1, 5.0, 5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerOutage(1, -1.0)
+
+    def test_out_of_range_node_rejected(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        engine = make_engine(tiny_problem, solution)
+        with pytest.raises(ValueError):
+            engine.schedule_crash(1.0, tiny_problem.tree.num_nodes)
+        with pytest.raises(ValueError):
+            engine.schedule_crash(1.0, 0)

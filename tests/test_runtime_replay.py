@@ -1,0 +1,92 @@
+"""Churn-trace replay through the discrete-event runtime."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ReplayConfig,
+    RuntimeConfig,
+    UniformEvents,
+    replay_churn,
+)
+from repro.dynamic import generate_churn_trace
+from repro.geometry import Rect
+
+
+DIST = UniformEvents(Rect([0, 0], [100, 100]))
+
+
+def make_trace(problem, horizon=6, seed=21):
+    return generate_churn_trace(problem.num_subscribers, horizon,
+                                np.random.default_rng(seed),
+                                initial_active_fraction=0.5,
+                                arrival_rate=3.0, departure_rate=3.0)
+
+
+class TestReplay:
+    def test_frozen_population_has_no_misses(self, tiny_problem):
+        trace = generate_churn_trace(tiny_problem.num_subscribers, 0,
+                                     np.random.default_rng(21),
+                                     initial_active_fraction=0.5)
+        result, system = replay_churn(tiny_problem, trace, DIST,
+                                      np.random.default_rng(4), 300)
+        assert result.total_missed == 0
+        # Inactive subscribers never receive anything.
+        inactive = np.flatnonzero(~trace.initially_active)
+        assert result.deliveries[inactive].sum() == 0
+        assert (system.assignment >= 0).sum() == trace.initially_active.sum()
+
+    def test_churn_steps_applied_on_schedule(self, tiny_problem):
+        trace = make_trace(tiny_problem)
+        result, system = replay_churn(tiny_problem, trace, DIST,
+                                      np.random.default_rng(4), 300)
+        arrivals = sum(len(s.arrivals) for s in trace.steps)
+        departures = sum(len(s.departures) for s in trace.steps)
+        assert result.telemetry.counter("churn_arrivals").value == arrivals
+        assert (result.telemetry.counter("churn_departures").value
+                == departures)
+
+    def test_deterministic_replay(self, tiny_problem):
+        trace = make_trace(tiny_problem)
+        outputs = []
+        for _ in range(2):
+            result, _ = replay_churn(
+                tiny_problem, trace, DIST, np.random.default_rng(4), 300,
+                replay_config=ReplayConfig(reopt_every=3,
+                                           reopt_algorithm="Gr*"))
+            outputs.append(result)
+        assert outputs[0].telemetry.to_json() == outputs[1].telemetry.to_json()
+        assert np.array_equal(outputs[0].deliveries, outputs[1].deliveries)
+
+    def test_reoptimization_fires(self, tiny_problem):
+        trace = make_trace(tiny_problem)
+        result, _ = replay_churn(
+            tiny_problem, trace, DIST, np.random.default_rng(4), 300,
+            replay_config=ReplayConfig(reopt_every=2,
+                                       reopt_algorithm="Gr*"))
+        assert result.telemetry.counter("reoptimizations").value > 0
+        assert len(result.telemetry.find_spans("reoptimization")) > 0
+
+    def test_population_mismatch_rejected(self, tiny_problem):
+        trace = generate_churn_trace(tiny_problem.num_subscribers + 1, 2,
+                                     np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            replay_churn(tiny_problem, trace, DIST,
+                         np.random.default_rng(0), 50)
+
+    def test_step_interval_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(step_interval=0.0)
+        with pytest.raises(ValueError):
+            ReplayConfig(reopt_every=-1)
+
+    def test_explicit_step_interval(self, tiny_problem):
+        trace = make_trace(tiny_problem, horizon=3)
+        config = RuntimeConfig(publish_interval=1.0)
+        result, _ = replay_churn(
+            tiny_problem, trace, DIST, np.random.default_rng(4), 100,
+            engine_config=config,
+            replay_config=ReplayConfig(step_interval=5.0))
+        # All steps land inside the run: the counters saw every arrival.
+        arrivals = sum(len(s.arrivals) for s in trace.steps)
+        assert result.telemetry.counter("churn_arrivals").value == arrivals
