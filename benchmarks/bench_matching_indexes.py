@@ -1,0 +1,62 @@
+"""Matching-index bench — grid and R-tree vs the brute-force oracle.
+
+Leaf brokers match every incoming event against their assigned
+subscriptions, so ``match_points`` throughput bounds the dissemination
+simulator and the runtime engine.  This bench times all three indexes
+on one shared subscription set / event stream and **asserts exact
+agreement** — the differential-oracle requirement from ``repro.verify``
+— so a future speedup that changes results fails loudly here too.
+"""
+
+import time
+
+import numpy as np
+
+from _shared import SEED, emit, emit_json, format_table, scale_banner
+from repro.geometry import Rect, RectSet
+from repro.pubsub import BruteForceMatcher, GridMatcher, RTreeMatcher
+
+NUM_SUBSCRIPTIONS = 4000
+NUM_EVENTS = 5000
+DOMAIN = Rect([0.0, 0.0], [100.0, 100.0])
+
+
+def compute():
+    rng = np.random.default_rng(SEED)
+    lo = rng.uniform(0.0, 95.0, size=(NUM_SUBSCRIPTIONS, 2))
+    hi = np.minimum(lo + rng.uniform(0.2, 15.0,
+                                     size=(NUM_SUBSCRIPTIONS, 2)), 100.0)
+    subscriptions = RectSet(lo, hi)
+    events = rng.uniform(-2.0, 102.0, size=(NUM_EVENTS, 2))
+
+    indexes = [
+        ("brute", BruteForceMatcher(subscriptions)),
+        ("grid", GridMatcher(subscriptions, DOMAIN, resolution=32)),
+        ("rtree", RTreeMatcher(subscriptions)),
+    ]
+    rows = []
+    oracle = None
+    for name, matcher in indexes:
+        started = time.perf_counter()
+        matrix = matcher.match_points(events)
+        wall = time.perf_counter() - started
+        if oracle is None:
+            oracle = matrix
+        else:
+            assert np.array_equal(matrix, oracle), \
+                f"{name} disagrees with the brute-force oracle"
+        rows.append([name, round(wall * 1e3, 1),
+                     round(NUM_EVENTS / wall, 0),
+                     int(matrix.sum())])
+    return rows
+
+
+def test_matching_indexes(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("\n== Matching indexes: brute force vs grid vs R-tree "
+         "(shared stream, exact agreement asserted) ==")
+    emit(scale_banner(f"; {NUM_SUBSCRIPTIONS} subscriptions, "
+                      f"{NUM_EVENTS} events"))
+    headers = ["index", "match_points ms", "events/s", "matches"]
+    emit(format_table(headers, rows))
+    emit_json("matching_indexes", headers, rows)

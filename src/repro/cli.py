@@ -22,6 +22,14 @@ Commands
     greedy failover, optional mid-run churn, and telemetry (exportable
     as JSON with ``--telemetry-json``).
 
+``verify``
+    Solve an instance with each requested algorithm and check the
+    result against the paper's invariants (nesting, latency budgets,
+    load balance, filter complexity) plus the differential oracles
+    (matchers, volume estimators, runtime vs batch simulator).  Exits
+    2 on any violation; ``--corrupt`` deliberately breaks the solution
+    first to prove the checker fires.
+
 ``algorithms``
     List the registered algorithm names.
 """
@@ -47,6 +55,14 @@ from .runtime import (
     RuntimeConfig,
     apply_fault_plan,
     replay_churn,
+)
+from .verify import (
+    ALL_CHECKS,
+    corrupt_latency,
+    corrupt_nesting,
+    guaranteed_checks,
+    solution_oracles,
+    verify_solution,
 )
 from .workloads import (
     GoogleGroupsConfig,
@@ -266,6 +282,53 @@ def _command_runtime(args: argparse.Namespace) -> int:
     return 1 if (fault_free and result.total_missed) else 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    workload, problem = _build_problem(args)
+    print(problem)
+    failed = False
+    rows = []
+    for name in args.algorithms:
+        fn = get_algorithm(name)
+        kwargs = {"seed": args.seed} if name in ("SLP1", "SLP") else {}
+        solution = fn(problem, **kwargs)
+
+        if args.corrupt:
+            try:
+                corrupter = (corrupt_nesting if args.corrupt == "nesting"
+                             else corrupt_latency)
+                solution = corrupter(problem, solution)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        # A corrupted solution must be checked against everything, or the
+        # planted violation could hide behind a relaxed guarantee.
+        checks = (ALL_CHECKS if args.checks == "all" or args.corrupt
+                  else guaranteed_checks(name, solution))
+        report = verify_solution(problem, solution, checks)
+        failed = failed or not report.ok
+        counts = report.by_check()
+        rows.append([name, "+".join(sorted(checks)),
+                     sum(counts.values()), round(report.lbf, 3),
+                     "OK" if report.ok else "FAILED"])
+        if not report.ok:
+            print(f"--- {name}\n{report.summary()}", file=sys.stderr)
+
+        if not args.skip_oracles:
+            for oracle in solution_oracles(
+                    problem, solution, workload.event_domain,
+                    seed=args.seed, num_events=args.events,
+                    mc_samples=args.mc_samples):
+                rows.append([name, f"oracle:{oracle.name}", "-", "-",
+                             "OK" if oracle.agree else "FAILED"])
+                if not oracle.agree:
+                    failed = True
+                    print(f"--- {name}: {oracle}", file=sys.stderr)
+
+    print(format_table(["algorithm", "checks", "violations", "lbf",
+                        "verdict"], rows))
+    return 2 if failed else 0
+
+
 def _command_algorithms(_args: argparse.Namespace) -> int:
     for name in algorithm_names():
         print(name)
@@ -332,6 +395,28 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--telemetry-json", default=None, metavar="PATH",
                          help="export the run's telemetry as JSON")
     runtime.set_defaults(handler=_command_runtime)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="check solutions against the paper invariants + oracles")
+    _add_instance_arguments(verify)
+    verify.add_argument("--algorithms", nargs="+", default=["SLP1", "Gr*"],
+                        choices=algorithm_names())
+    verify.add_argument("--checks", choices=["guaranteed", "all"],
+                        default="guaranteed",
+                        help="hold each algorithm to its own contract "
+                             "(default) or to every invariant")
+    verify.add_argument("--corrupt", choices=["nesting", "latency"],
+                        default=None,
+                        help="deliberately break the solution first; the "
+                             "run must then exit 2")
+    verify.add_argument("--skip-oracles", action="store_true",
+                        help="run only the invariant checks")
+    verify.add_argument("--events", type=int, default=400,
+                        help="events for the runtime differential oracle")
+    verify.add_argument("--mc-samples", type=int, default=200_000,
+                        help="samples for the volume differential oracle")
+    verify.set_defaults(handler=_command_verify)
 
     algorithms = subparsers.add_parser("algorithms",
                                        help="list algorithm names")

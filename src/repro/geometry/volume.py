@@ -37,6 +37,53 @@ def sum_volume(rects: RectSet) -> float:
     return float(rects.volumes().sum())
 
 
+def _compressed_covered_grid(rects: RectSet,
+                             hint: str) -> tuple[list[np.ndarray], np.ndarray]:
+    """Coordinate-compressed grid shared by the exact union measures.
+
+    Returns the per-axis sorted coordinate arrays and the boolean mask of
+    grid cells covered by at least one box (degenerate boxes cover no
+    cell).  Raises :class:`ValueError` with ``hint`` appended when the
+    grid would exceed ``_MAX_EXACT_CELLS``.
+    """
+    dim = rects.dim
+    axes = []
+    cells = 1
+    for axis in range(dim):
+        coords = np.unique(np.concatenate([rects.lo[:, axis], rects.hi[:, axis]]))
+        axes.append(coords)
+        cells *= max(len(coords) - 1, 1)
+        if cells > _MAX_EXACT_CELLS:
+            raise ValueError(
+                f"compressed grid too large ({cells}+ cells); {hint}")
+
+    covered = np.zeros(tuple(max(len(a) - 1, 1) for a in axes), dtype=bool)
+    for i in range(len(rects)):
+        slices = []
+        degenerate = False
+        for axis in range(dim):
+            start = np.searchsorted(axes[axis], rects.lo[i, axis])
+            stop = np.searchsorted(axes[axis], rects.hi[i, axis])
+            if stop <= start:
+                degenerate = True
+                break
+            slices.append(slice(start, stop))
+        if not degenerate:
+            covered[tuple(slices)] = True
+    return axes, covered
+
+
+def _covered_mass(axes: list[np.ndarray], covered: np.ndarray,
+                  cell_measures: list[np.ndarray]) -> float:
+    """Total measure of the covered cells, given per-axis cell measures."""
+    if not covered.any():
+        return 0.0
+    weight = cell_measures[0]
+    for axis in range(1, len(axes)):
+        weight = np.multiply.outer(weight, cell_measures[axis])
+    return float(weight[covered].sum())
+
+
 def union_volume(rects: RectSet) -> float:
     """Exact Lebesgue volume of the union of the boxes.
 
@@ -49,40 +96,10 @@ def union_volume(rects: RectSet) -> float:
     if n == 1:
         return float(rects.volumes()[0])
 
-    dim = rects.dim
-    axes = []
-    cells = 1
-    for axis in range(dim):
-        coords = np.unique(np.concatenate([rects.lo[:, axis], rects.hi[:, axis]]))
-        axes.append(coords)
-        cells *= max(len(coords) - 1, 1)
-        if cells > _MAX_EXACT_CELLS:
-            raise ValueError(
-                f"compressed grid too large ({cells}+ cells); "
-                "use union_volume_monte_carlo")
-
-    covered = np.zeros(tuple(max(len(a) - 1, 1) for a in axes), dtype=bool)
-    for i in range(n):
-        slices = []
-        degenerate = False
-        for axis in range(dim):
-            start = np.searchsorted(axes[axis], rects.lo[i, axis])
-            stop = np.searchsorted(axes[axis], rects.hi[i, axis])
-            if stop <= start:
-                degenerate = True
-                break
-            slices.append(slice(start, stop))
-        if not degenerate:
-            covered[tuple(slices)] = True
-
-    volume = 0.0
-    if covered.any():
-        cell_lengths = [np.diff(a) if len(a) > 1 else np.zeros(1) for a in axes]
-        weight = cell_lengths[0]
-        for axis in range(1, dim):
-            weight = np.multiply.outer(weight, cell_lengths[axis])
-        volume = float(weight[covered].sum())
-    return volume
+    axes, covered = _compressed_covered_grid(
+        rects, "use union_volume_monte_carlo")
+    cell_lengths = [np.diff(a) if len(a) > 1 else np.zeros(1) for a in axes]
+    return _covered_mass(axes, covered, cell_lengths)
 
 
 def union_measure(rects: RectSet, interval_measure) -> float:
@@ -95,39 +112,12 @@ def union_measure(rects: RectSet, interval_measure) -> float:
     event distributions, where broker bandwidth is the *probability mass*
     of the filter rather than its volume.
     """
-    n = len(rects)
-    if n == 0:
+    if len(rects) == 0:
         return 0.0
 
-    dim = rects.dim
-    axes = []
-    cells = 1
-    for axis in range(dim):
-        coords = np.unique(np.concatenate([rects.lo[:, axis], rects.hi[:, axis]]))
-        axes.append(coords)
-        cells *= max(len(coords) - 1, 1)
-        if cells > _MAX_EXACT_CELLS:
-            raise ValueError(
-                f"compressed grid too large ({cells}+ cells) for union_measure")
-
-    covered = np.zeros(tuple(max(len(a) - 1, 1) for a in axes), dtype=bool)
-    for i in range(n):
-        slices = []
-        degenerate = False
-        for axis in range(dim):
-            start = np.searchsorted(axes[axis], rects.lo[i, axis])
-            stop = np.searchsorted(axes[axis], rects.hi[i, axis])
-            if stop <= start:
-                degenerate = True
-                break
-            slices.append(slice(start, stop))
-        if not degenerate:
-            covered[tuple(slices)] = True
-
-    if not covered.any():
-        return 0.0
+    axes, covered = _compressed_covered_grid(rects, "for union_measure")
     cell_measures = []
-    for axis in range(dim):
+    for axis in range(rects.dim):
         coords = axes[axis]
         if len(coords) > 1:
             measures = np.array([interval_measure(axis, coords[k], coords[k + 1])
@@ -135,10 +125,7 @@ def union_measure(rects: RectSet, interval_measure) -> float:
         else:
             measures = np.zeros(1)
         cell_measures.append(measures)
-    weight = cell_measures[0]
-    for axis in range(1, dim):
-        weight = np.multiply.outer(weight, cell_measures[axis])
-    return float(weight[covered].sum())
+    return _covered_mass(axes, covered, cell_measures)
 
 
 def union_volume_monte_carlo(rects: RectSet, rng: np.random.Generator,

@@ -62,6 +62,9 @@ class GridMatcher:
         if np.any(widths <= 0):
             raise ValueError("domain must have positive extent on every axis")
         self._cell_size = widths / resolution
+        # Row-major strides so batched lookups can flatten cell coords
+        # with one matrix product (matches _flatten's digit order).
+        self._strides = resolution ** np.arange(self._dim - 1, -1, -1)
 
         # cells[flat_index] -> array of subscription ids intersecting the cell
         buckets: dict[int, list[int]] = {}
@@ -97,9 +100,27 @@ class GridMatcher:
         return bucket[mask]
 
     def match_points(self, points: np.ndarray) -> np.ndarray:
-        """Boolean matrix ``(num_subscriptions, num_events)`` via per-event lookups."""
+        """Boolean matrix ``(num_subscriptions, num_events)``.
+
+        Events are grouped by grid cell, so each occupied cell costs one
+        batched containment check over its bucket instead of a Python
+        loop over individual events.
+        """
         pts = np.asarray(points, dtype=float)
         out = np.zeros((len(self._subs), pts.shape[0]), dtype=bool)
-        for j in range(pts.shape[0]):
-            out[self.match_point(pts[j]), j] = True
+        if pts.shape[0] == 0 or len(self._subs) == 0:
+            return out
+        flat = self._cell_coords(pts) @ self._strides
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_flat[1:] != sorted_flat[:-1]])
+        for start, stop in zip(boundaries,
+                               np.r_[boundaries[1:], len(sorted_flat)]):
+            bucket = self._buckets.get(int(sorted_flat[start]))
+            if bucket is None:
+                continue
+            cell_events = order[start:stop]
+            mask = self._subs.take(bucket).contains_points(pts[cell_events])
+            out[np.ix_(bucket, cell_events)] = mask
         return out

@@ -1,0 +1,81 @@
+"""Deliberately corrupted solutions, for testing the checker itself.
+
+A verifier that never fires is worse than none; these helpers produce
+solutions that are wrong in one precisely known way, so tests and the
+``repro verify --corrupt`` CLI can assert the checker detects them:
+
+* :func:`corrupt_nesting` — shrink one leaf filter until it no longer
+  covers an assigned subscription (breaks the nesting condition);
+* :func:`corrupt_latency` — reassign one subscriber to a leaf whose
+  path latency exceeds its budget ``(1 + D) * Delta_j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import SAProblem, SASolution
+from ..geometry import RectSet
+from ..pubsub.filters import Filter
+
+__all__ = ["corrupt_nesting", "corrupt_latency"]
+
+
+def _shrunk(filt: Filter, factor: float) -> Filter:
+    """Every rectangle pulled toward its center by ``factor``."""
+    rects = filt.rects
+    centers = rects.centers()
+    half = rects.widths() / 2.0 * factor
+    return Filter(RectSet(centers - half, centers + half, validate=False))
+
+
+def corrupt_nesting(problem: SAProblem, solution: SASolution) -> SASolution:
+    """Shrink one leaf filter so an assigned subscription is uncovered.
+
+    Leaves are tried in id order with progressively harsher shrink
+    factors; the first shrink that uncovers a subscription while keeping
+    the parent-nesting direction intact (a shrunk filter is a subset of
+    the original, so its parent still covers it) is returned.
+    """
+    assignment = np.asarray(solution.assignment, dtype=int)
+    for leaf in sorted(int(v) for v in problem.tree.leaves):
+        members = np.flatnonzero(assignment == leaf)
+        original = solution.filters.get(leaf)
+        if len(members) == 0 or original is None or original.is_empty():
+            continue
+        for factor in (0.5, 0.1, 0.0):
+            candidate = _shrunk(original, factor)
+            uncovered = any(
+                not candidate.contains_subscription(
+                    problem.subscriptions.rect(int(j)))
+                for j in members)
+            if uncovered:
+                filters = dict(solution.filters)
+                filters[leaf] = candidate
+                return SASolution(
+                    problem=problem, assignment=assignment.copy(),
+                    filters=filters,
+                    info={**solution.info, "corruption": "nesting",
+                          "corrupted_node": leaf})
+    raise ValueError("no leaf filter could be shrunk to break nesting "
+                     "(no covered subscriptions to uncover)")
+
+
+def corrupt_latency(problem: SAProblem, solution: SASolution) -> SASolution:
+    """Reassign one subscriber to a latency-infeasible leaf.
+
+    Picks the subscriber/leaf pair with the largest budget excess, so
+    the violation is unambiguous rather than a borderline rounding case.
+    """
+    excess = problem.leaf_latency - problem.latency_budgets[None, :]
+    row, j = np.unravel_index(int(excess.argmax()), excess.shape)
+    if excess[row, j] <= problem.latency_budgets[j] * 1e-6:
+        raise ValueError("every leaf satisfies every budget; no latency "
+                         "corruption is possible on this instance")
+    assignment = np.asarray(solution.assignment, dtype=int).copy()
+    assignment[j] = int(problem.tree.leaves[row])
+    return SASolution(
+        problem=problem, assignment=assignment,
+        filters=dict(solution.filters),
+        info={**solution.info, "corruption": "latency",
+              "corrupted_subscriber": int(j)})

@@ -1,0 +1,162 @@
+"""Differential oracles: cross-check independent implementations.
+
+Three families of redundancy exist in the library, and each pair must
+agree for the fast path to be trustworthy:
+
+* **Matching** — :class:`BruteForceMatcher` is the exact oracle;
+  :class:`GridMatcher` and :class:`RTreeMatcher` must reproduce its
+  match matrix bit-for-bit on any shared event stream.
+* **Measure** — :func:`union_volume` (exact coordinate compression) and
+  :func:`union_volume_monte_carlo` (sampling) estimate the same
+  quantity; they must agree within the estimator's statistical error.
+* **Dissemination** — the discrete-event :mod:`repro.runtime` engine
+  must reproduce the batch :func:`simulate_dissemination` counts
+  exactly on a fault-free shared seed.
+
+Each harness returns an :class:`OracleReport`; ``repro verify`` and the
+differential test suite treat any disagreement as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import SAProblem, SASolution
+from ..geometry import Rect, RectSet, union_volume, union_volume_monte_carlo
+from ..pubsub.events import EventDistribution, UniformEvents
+from ..pubsub.matching import BruteForceMatcher, GridMatcher
+from ..pubsub.rtree import RTreeMatcher
+from ..pubsub.simulator import simulate_dissemination
+from ..runtime import DisseminationEngine, RuntimeConfig
+
+__all__ = ["OracleReport", "matcher_oracle", "volume_oracle",
+           "runtime_oracle", "solution_oracles"]
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Verdict of one differential comparison."""
+
+    name: str
+    agree: bool
+    detail: str
+    max_error: float | None = None   #: worst numeric deviation, when numeric
+    tolerance: float | None = None   #: bound the deviation was held to
+
+    def __str__(self) -> str:
+        verdict = "agree" if self.agree else "DISAGREE"
+        return f"[{self.name}] {verdict}: {self.detail}"
+
+
+def matcher_oracle(subscriptions: RectSet, domain: Rect,
+                   events: np.ndarray, *,
+                   grid_resolution: int = 16) -> OracleReport:
+    """All three matching indexes must produce identical match matrices."""
+    events = np.asarray(events, dtype=float)
+    expected = BruteForceMatcher(subscriptions).match_points(events)
+    mismatches = []
+    for name, matcher in (
+            ("grid", GridMatcher(subscriptions, domain,
+                                 resolution=grid_resolution)),
+            ("rtree", RTreeMatcher(subscriptions))):
+        got = matcher.match_points(events)
+        wrong = int(np.sum(got != expected))
+        if wrong:
+            mismatches.append(f"{name}: {wrong} cells differ")
+    detail = (f"{len(subscriptions)} subscriptions x {events.shape[0]} "
+              f"events; " + ("; ".join(mismatches) if mismatches
+                             else "grid and rtree match brute force exactly"))
+    return OracleReport(name="matcher", agree=not mismatches, detail=detail,
+                        max_error=float(len(mismatches)), tolerance=0.0)
+
+
+def volume_oracle(rects: RectSet, rng: np.random.Generator, *,
+                  samples: int = 200_000,
+                  sigmas: float = 5.0) -> OracleReport:
+    """Exact union volume vs Monte Carlo, within ``sigmas`` standard errors.
+
+    The MC estimator samples inside the set's MEB; its standard error is
+    ``V_meb * sqrt(p (1 - p) / samples)`` for covered fraction ``p``, so
+    the tolerance is statistical, not an arbitrary epsilon.
+    """
+    exact = union_volume(rects)
+    estimate = union_volume_monte_carlo(rects, rng, samples=samples)
+    if len(rects) == 0 or rects.meb().volume() == 0.0:
+        agree = estimate == exact == 0.0
+        return OracleReport(name="volume", agree=agree,
+                            detail=f"degenerate set: exact={exact}, "
+                                   f"mc={estimate}",
+                            max_error=abs(estimate - exact), tolerance=0.0)
+    meb_volume = rects.meb().volume()
+    p = min(max(exact / meb_volume, 0.0), 1.0)
+    stderr = meb_volume * float(np.sqrt(p * (1.0 - p) / samples))
+    tolerance = sigmas * stderr + 1e-12 * meb_volume
+    error = abs(estimate - exact)
+    return OracleReport(
+        name="volume", agree=error <= tolerance,
+        detail=f"exact={exact:.6g}, mc={estimate:.6g} "
+               f"({samples} samples, {sigmas} sigma tolerance)",
+        max_error=error, tolerance=tolerance)
+
+
+def runtime_oracle(problem: SAProblem, solution: SASolution,
+                   distribution: EventDistribution, *, seed: int = 0,
+                   num_events: int = 400) -> OracleReport:
+    """Fault-free engine run vs the batch simulator on a shared seed.
+
+    Both consume the event stream through the same chunked sampler, so
+    per-node entries, per-subscriber deliveries, and misses must be
+    *identical*, not merely close.
+    """
+    batch = simulate_dissemination(
+        problem.tree, solution.filters, solution.assignment,
+        problem.subscriptions, distribution, np.random.default_rng(seed),
+        num_events=num_events, subscriber_points=problem.subscriber_points)
+    engine = DisseminationEngine(
+        problem.tree, solution.filters, solution.assignment,
+        problem.subscriptions, config=RuntimeConfig(),
+        subscriber_points=problem.subscriber_points)
+    live = engine.run(distribution, np.random.default_rng(seed), num_events)
+
+    differences = []
+    if not np.array_equal(live.node_entries, batch.node_entries):
+        differences.append("node entries")
+    if not np.array_equal(live.deliveries, batch.deliveries):
+        differences.append("deliveries")
+    if not np.array_equal(live.missed, batch.missed):
+        differences.append("missed")
+    detail = (f"{num_events} events, seed {seed}; "
+              + (", ".join(differences) + " differ" if differences
+                 else "entries, deliveries, and misses identical"))
+    return OracleReport(name="runtime", agree=not differences, detail=detail,
+                        max_error=float(len(differences)), tolerance=0.0)
+
+
+def solution_oracles(problem: SAProblem, solution: SASolution,
+                     domain: Rect, *, seed: int = 0,
+                     match_events: int = 256, num_events: int = 400,
+                     mc_samples: int = 200_000) -> list[OracleReport]:
+    """Run every applicable differential oracle against one solution.
+
+    The matcher oracle runs over the problem's subscription set, the
+    volume oracle over the union of all filter rectangles (the quantity
+    the bandwidth objective integrates), and the runtime oracle over the
+    solution itself.
+    """
+    rng = np.random.default_rng(seed)
+    distribution = UniformEvents(domain)
+    reports = [matcher_oracle(problem.subscriptions, domain,
+                              distribution.sample(rng, match_events))]
+
+    filter_rects = RectSet.empty(problem.event_dim)
+    for _node, filt in sorted(solution.filters.items()):
+        if not filt.is_empty():
+            filter_rects = filter_rects.concat(filt.rects)
+    if len(filter_rects):
+        reports.append(volume_oracle(filter_rects, rng, samples=mc_samples))
+
+    reports.append(runtime_oracle(problem, solution, distribution,
+                                  seed=seed, num_events=num_events))
+    return reports

@@ -1,0 +1,180 @@
+"""Seeded random SA problem generators for property testing.
+
+The paper's three workload generators model realistic populations; the
+strategies here instead stress the *machinery*: random tree shapes,
+skewed and clustered subscription sets, degenerate (zero-width) boxes,
+and adversarial mixes of duplicates, nested boxes, and domain-sized
+subscriptions.  Every instance is derived deterministically from a
+``(kind, seed)`` pair, so a property-suite failure is replayable from
+its case id alone.
+
+Instances are kept small (tens of subscribers, a handful of brokers) so
+every registered algorithm — including the LP-based SLP variants — can
+be pushed through :func:`repro.verify.verify_solution` hundreds of
+times in a test run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import SAParameters, SAProblem
+from ..geometry import Rect, RectSet
+from ..network import build_hierarchical_tree, build_one_level_tree
+
+__all__ = ["EVENT_DOMAIN", "STRATEGY_NAMES", "RandomInstance",
+           "random_problem", "problem_cases"]
+
+#: Event domain every strategy generates subscriptions inside.
+EVENT_DOMAIN = Rect([0.0, 0.0], [100.0, 100.0])
+
+STRATEGY_NAMES = ("uniform", "clustered", "skewed", "degenerate",
+                  "adversarial")
+
+_NETWORK_DIM = 3
+
+
+@dataclass(frozen=True)
+class RandomInstance:
+    """A generated problem plus the metadata needed to replay it."""
+
+    kind: str
+    seed: int
+    problem: SAProblem
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.kind}-{self.seed}"
+
+
+def _uniform_boxes(rng: np.random.Generator, n: int) -> RectSet:
+    lo = rng.uniform(0.0, 90.0, size=(n, 2))
+    widths = rng.uniform(1.0, 10.0, size=(n, 2))
+    return RectSet(lo, np.minimum(lo + widths, 100.0))
+
+
+def _clustered_boxes(rng: np.random.Generator, n: int) -> RectSet:
+    num_clusters = int(rng.integers(2, 5))
+    centers = rng.uniform(10.0, 90.0, size=(num_clusters, 2))
+    which = rng.integers(0, num_clusters, size=n)
+    jitter = rng.normal(scale=3.0, size=(n, 2))
+    mid = np.clip(centers[which] + jitter, 1.0, 99.0)
+    half = rng.uniform(0.25, 4.0, size=(n, 2))
+    return RectSet(np.clip(mid - half, 0.0, 100.0),
+                   np.clip(mid + half, 0.0, 100.0))
+
+
+def _skewed_boxes(rng: np.random.Generator, n: int) -> RectSet:
+    # Zipf-like width spectrum: a few near-domain-sized boxes, a long
+    # tail of tiny ones, positions hot-spotted toward one corner.
+    ranks = rng.permutation(n) + 1
+    widths = np.minimum(95.0 * ranks[:, None] ** -0.8
+                        * rng.uniform(0.5, 1.5, size=(n, 2)), 95.0)
+    lo = np.abs(rng.normal(scale=20.0, size=(n, 2)))
+    lo = np.minimum(lo, 100.0 - widths)
+    return RectSet(lo, lo + widths)
+
+
+def _degenerate_boxes(rng: np.random.Generator, n: int) -> RectSet:
+    rects = _uniform_boxes(rng, n)
+    lo = rects.lo.copy()
+    hi = rects.hi.copy()
+    flatten = rng.random(size=(n, 2)) < 0.4   # zero-width per axis
+    hi[flatten] = lo[flatten]
+    return RectSet(lo, hi)
+
+
+def _adversarial_boxes(rng: np.random.Generator, n: int) -> RectSet:
+    lo = np.empty((n, 2))
+    hi = np.empty((n, 2))
+    anchor_lo = rng.uniform(20.0, 60.0, size=2)
+    anchor_hi = anchor_lo + rng.uniform(5.0, 20.0, size=2)
+    for i in range(n):
+        roll = rng.random()
+        if roll < 0.3:       # exact duplicates of one shared box
+            lo[i], hi[i] = anchor_lo, anchor_hi
+        elif roll < 0.5:     # nested shrinking copies of the shared box
+            shrink = rng.uniform(0.1, 0.9)
+            center = (anchor_lo + anchor_hi) / 2.0
+            half = (anchor_hi - anchor_lo) / 2.0 * shrink
+            lo[i], hi[i] = center - half, center + half
+        elif roll < 0.65:    # the whole event domain
+            lo[i], hi[i] = EVENT_DOMAIN.lo, EVENT_DOMAIN.hi
+        elif roll < 0.8:     # a shared point (degenerate duplicate)
+            lo[i] = hi[i] = anchor_lo
+        else:                # ordinary random box
+            lo[i] = rng.uniform(0.0, 90.0, size=2)
+            hi[i] = lo[i] + rng.uniform(0.5, 10.0, size=2)
+    return RectSet(lo, hi)
+
+
+_SUBSCRIPTION_STRATEGIES = {
+    "uniform": _uniform_boxes,
+    "clustered": _clustered_boxes,
+    "skewed": _skewed_boxes,
+    "degenerate": _degenerate_boxes,
+    "adversarial": _adversarial_boxes,
+}
+
+
+def _random_network(rng: np.random.Generator, n: int,
+                    num_brokers: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Publisher, broker, and subscriber positions in network space."""
+    publisher = rng.uniform(-5.0, 5.0, size=_NETWORK_DIM)
+    num_sites = int(rng.integers(2, 5))
+    sites = rng.uniform(-50.0, 50.0, size=(num_sites, _NETWORK_DIM))
+    members = rng.integers(0, num_sites, size=n)
+    subscribers = sites[members] + rng.normal(scale=4.0,
+                                              size=(n, _NETWORK_DIM))
+    # Brokers track the subscriber sites so load balance is attainable.
+    broker_sites = sites[rng.integers(0, num_sites, size=num_brokers)]
+    brokers = broker_sites + rng.normal(scale=4.0,
+                                        size=(num_brokers, _NETWORK_DIM))
+    return publisher, brokers, subscribers
+
+
+def random_problem(seed: int, kind: str = "uniform") -> RandomInstance:
+    """One deterministic random instance of the given strategy.
+
+    Constraint parameters are drawn generously (ample ``max_delay``,
+    ``beta_max`` with headroom) so that every instance is feasible and
+    each algorithm can be held to its guarantees.
+    """
+    if kind not in _SUBSCRIPTION_STRATEGIES:
+        raise ValueError(f"unknown strategy {kind!r}; "
+                         f"known: {', '.join(STRATEGY_NAMES)}")
+    rng = np.random.default_rng([seed, STRATEGY_NAMES.index(kind)])
+    n = int(rng.integers(16, 48))
+    num_brokers = int(rng.integers(3, 7))
+    publisher, brokers, subscribers = _random_network(rng, n, num_brokers)
+
+    if num_brokers >= 4 and rng.random() < 0.3:
+        tree = build_hierarchical_tree(publisher, brokers,
+                                       max_out_degree=3, rng=rng)
+    else:
+        tree = build_one_level_tree(publisher, brokers)
+
+    subscriptions = _SUBSCRIPTION_STRATEGIES[kind](rng, n)
+    beta = float(rng.uniform(1.5, 2.0))
+    params = SAParameters(
+        alpha=int(rng.integers(1, 4)),
+        max_delay=float(rng.uniform(0.5, 1.2)),
+        beta=beta,
+        beta_max=beta + float(rng.uniform(0.8, 1.2)),
+    )
+    problem = SAProblem(tree, subscribers, subscriptions, params)
+    return RandomInstance(kind=kind, seed=seed, problem=problem)
+
+
+def problem_cases(count: int, base_seed: int = 0) -> list[tuple[str, int]]:
+    """``count`` replayable ``(kind, seed)`` case ids, round-robin over
+    every strategy so each gets even coverage."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    cases = []
+    for i in range(count):
+        kind = STRATEGY_NAMES[i % len(STRATEGY_NAMES)]
+        cases.append((kind, base_seed + i))
+    return cases

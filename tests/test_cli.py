@@ -110,3 +110,45 @@ class TestCommands:
         assert "link_loss" in capsys.readouterr().err
         assert main(["runtime", *SMALL, "--crash", "99:5"]) == 2
         assert "not a broker" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["verify", *SMALL, "--algorithms", "Gr*",
+                     "--events", "200", "--mc-samples", "40000"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "oracle:matcher" in out
+        assert "oracle:runtime" in out
+        assert "FAILED" not in out
+
+    def test_skip_oracles_runs_only_checks(self, capsys):
+        assert main(["verify", *SMALL, "--algorithms", "Gr",
+                     "--skip-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle:" not in out
+
+    def test_all_checks_mode(self, capsys):
+        assert main(["verify", *SMALL, "--algorithms", "Gr*",
+                     "--checks", "all", "--skip-oracles"]) == 0
+        assert "load" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--algorithms", "wat"])
+
+    def test_unknown_corruption_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--corrupt", "wat"])
+
+    def test_corrupt_nesting_exits_two(self, capsys):
+        assert main(["verify", *SMALL, "--algorithms", "Gr*",
+                     "--corrupt", "nesting", "--skip-oracles"]) == 2
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "nesting" in captured.err
+
+    def test_corrupt_latency_exits_two(self, capsys):
+        assert main(["verify", *SMALL, "--algorithms", "Gr*",
+                     "--corrupt", "latency", "--skip-oracles"]) == 2
+        assert "latency" in capsys.readouterr().err

@@ -121,3 +121,64 @@ class TestCoverageFraction:
         domain = Rect([0, 0], [10, 10])
         rs = RectSet(np.array([[20.0, 20.0]]), np.array([[30.0, 30.0]]))
         assert coverage_fraction(rs, domain) == 0.0
+
+
+class TestMonteCarloFallback:
+    """The exact/Monte-Carlo boundary at ``_MAX_EXACT_CELLS``."""
+
+    def test_union_volume_raises_past_the_cell_cap(self, monkeypatch):
+        from repro.geometry import volume as volume_module
+        monkeypatch.setattr(volume_module, "_MAX_EXACT_CELLS", 8)
+        rng = np.random.default_rng(0)
+        rs = random_rectset(rng, 4)  # up to 7x7 cells > 8
+        with pytest.raises(ValueError, match="union_volume_monte_carlo"):
+            union_volume(rs)
+
+    def test_union_measure_raises_with_its_own_hint(self, monkeypatch):
+        from repro.geometry import volume as volume_module
+        monkeypatch.setattr(volume_module, "_MAX_EXACT_CELLS", 8)
+        rng = np.random.default_rng(0)
+        rs = random_rectset(rng, 4)
+        with pytest.raises(ValueError, match="for union_measure"):
+            union_measure(rs, lambda axis, a, b: b - a)
+
+    def test_exact_still_used_at_the_boundary(self, monkeypatch):
+        # Two disjoint boxes compress to at most 3x3 cells; a cap of
+        # exactly 9 must stay on the exact path.
+        from repro.geometry import volume as volume_module
+        monkeypatch.setattr(volume_module, "_MAX_EXACT_CELLS", 9)
+        rs = RectSet(np.array([[0.0, 0.0], [5.0, 5.0]]),
+                     np.array([[1.0, 1.0], [7.0, 7.0]]))
+        assert union_volume(rs) == pytest.approx(5.0)
+
+    def test_coverage_fraction_without_rng_propagates(self, monkeypatch):
+        from repro.geometry import volume as volume_module
+        monkeypatch.setattr(volume_module, "_MAX_EXACT_CELLS", 8)
+        rng = np.random.default_rng(1)
+        rs = random_rectset(rng, 4)
+        domain = Rect([0, 0], [10, 10])
+        with pytest.raises(ValueError, match="compressed grid too large"):
+            coverage_fraction(rs, domain)
+
+    def test_coverage_fraction_with_rng_samples(self, monkeypatch):
+        from repro.geometry import volume as volume_module
+        rng = np.random.default_rng(1)
+        rs = random_rectset(rng, 6)
+        domain = Rect([0, 0], [10, 10])
+        exact = coverage_fraction(rs, domain)
+        monkeypatch.setattr(volume_module, "_MAX_EXACT_CELLS", 8)
+        sampled = coverage_fraction(rs, domain,
+                                    rng=np.random.default_rng(2),
+                                    samples=200_000)
+        assert sampled == pytest.approx(exact, abs=0.01)
+
+    def test_monte_carlo_empty_set(self):
+        rng = np.random.default_rng(0)
+        assert union_volume_monte_carlo(RectSet.empty(2), rng) == 0.0
+
+    def test_monte_carlo_degenerate_meb(self):
+        # All-point boxes at one location: the MEB has zero volume and
+        # the estimator must short-circuit to exactly zero.
+        rng = np.random.default_rng(0)
+        lo = np.tile(np.array([[3.0, 4.0]]), (5, 1))
+        assert union_volume_monte_carlo(RectSet(lo, lo), rng) == 0.0

@@ -82,3 +82,38 @@ class TestGridMatcher:
         for p in points:
             assert sorted(grid.match_point(p).tolist()) \
                 == sorted(brute.match_point(p).tolist())
+
+
+class TestGridMatcherVectorizedEdges:
+    """Edge cases of the batched (cell-grouped) match_points path."""
+
+    def test_empty_event_batch(self):
+        rng = np.random.default_rng(2)
+        subs = random_subs(rng, 10)
+        grid = GridMatcher(subs, DOMAIN, resolution=8)
+        matrix = grid.match_points(np.empty((0, 2)))
+        assert matrix.shape == (10, 0)
+
+    def test_empty_subscription_set(self):
+        grid = GridMatcher(RectSet.empty(2), DOMAIN, resolution=8)
+        matrix = grid.match_points(np.array([[1.0, 1.0], [2.0, 2.0]]))
+        assert matrix.shape == (0, 2)
+
+    def test_all_events_in_one_cell(self):
+        rng = np.random.default_rng(3)
+        subs = random_subs(rng, 30)
+        grid = GridMatcher(subs, DOMAIN, resolution=4)
+        brute = BruteForceMatcher(subs)
+        # Every event lands in the same grid cell: a single bucket batch.
+        points = rng.uniform(1.0, 20.0, size=(40, 2))
+        assert np.array_equal(grid.match_points(points),
+                              brute.match_points(points))
+
+    def test_unsorted_events_keep_column_order(self):
+        rng = np.random.default_rng(4)
+        subs = random_subs(rng, 25)
+        grid = GridMatcher(subs, DOMAIN, resolution=8)
+        points = rng.uniform(0, 100, size=(60, 2))
+        shuffled = points[::-1]
+        assert np.array_equal(grid.match_points(shuffled),
+                              grid.match_points(points)[:, ::-1])

@@ -1,0 +1,84 @@
+"""Random-problem strategies: determinism, shape, and feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    EVENT_DOMAIN,
+    STRATEGY_NAMES,
+    problem_cases,
+    random_problem,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self):
+        a = random_problem(42, "clustered").problem
+        b = random_problem(42, "clustered").problem
+        assert np.array_equal(a.subscriber_points, b.subscriber_points)
+        assert np.array_equal(a.subscriptions.lo, b.subscriptions.lo)
+        assert np.array_equal(a.tree.positions, b.tree.positions)
+        assert a.params == b.params
+
+    def test_different_seeds_differ(self):
+        a = random_problem(1, "uniform").problem
+        b = random_problem(2, "uniform").problem
+        assert not np.array_equal(a.subscriptions.lo, b.subscriptions.lo)
+
+    def test_kinds_differ(self):
+        a = random_problem(5, "uniform").problem
+        b = random_problem(5, "skewed").problem
+        assert not np.array_equal(a.subscriptions.lo, b.subscriptions.lo)
+
+
+class TestInstanceShape:
+    @pytest.mark.parametrize("kind", STRATEGY_NAMES)
+    def test_instances_are_wellformed(self, kind):
+        for seed in range(5):
+            instance = random_problem(seed, kind)
+            problem = instance.problem
+            assert instance.case_id == f"{kind}-{seed}"
+            assert 16 <= problem.num_subscribers < 48
+            assert 3 <= problem.num_leaf_brokers <= problem.tree.num_brokers
+            # Subscriptions live inside the shared event domain.
+            assert np.all(problem.subscriptions.lo >= EVENT_DOMAIN.lo)
+            assert np.all(problem.subscriptions.hi <= EVENT_DOMAIN.hi)
+            # Feasibility: every subscriber has a latency-feasible leaf.
+            assert problem.candidate_counts().min() >= 1
+
+    def test_degenerate_strategy_produces_flat_boxes(self):
+        rects = random_problem(0, "degenerate").problem.subscriptions
+        widths = rects.widths()
+        assert np.any(widths == 0.0)
+        assert np.any(widths > 0.0)
+
+    def test_adversarial_strategy_produces_duplicates(self):
+        found_duplicates = False
+        for seed in range(5):
+            rects = random_problem(seed, "adversarial").problem.subscriptions
+            if len(rects.dedupe()) < len(rects):
+                found_duplicates = True
+                break
+        assert found_duplicates
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            random_problem(0, "mystery")
+
+
+class TestProblemCases:
+    def test_round_robin_covers_every_strategy(self):
+        cases = problem_cases(10)
+        kinds = [kind for kind, _ in cases]
+        for name in STRATEGY_NAMES:
+            assert name in kinds
+
+    def test_seeds_are_distinct(self):
+        cases = problem_cases(25, base_seed=100)
+        assert len({seed for _, seed in cases}) == 25
+        assert min(seed for _, seed in cases) == 100
+
+    def test_count_validation(self):
+        assert problem_cases(0) == []
+        with pytest.raises(ValueError):
+            problem_cases(-1)
