@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import time
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Any
 
 import numpy as np
@@ -21,9 +24,12 @@ import numpy as np
 from ..core.problem import SAProblem
 from ..core.registry import get_algorithm
 from ..metrics.report import SolutionReport, evaluate_solution
+from ..perf.cache import geometry_cache
+from ..perf.parallel import BenchCell, run_cells
 
 __all__ = ["AlgorithmRun", "run_algorithms", "average_reports",
-           "json_output_dir", "write_bench_json", "runs_payload"]
+           "json_output_dir", "write_bench_json", "runs_payload",
+           "run_metadata"]
 
 #: Environment variable naming the directory machine-readable benchmark
 #: results are written into; ``pytest benchmarks/ --json DIR`` sets it.
@@ -41,22 +47,66 @@ class AlgorithmRun:
 
 def run_algorithms(problem: SAProblem, names: Iterable[str],
                    kwargs: Mapping[str, Mapping[str, object]] | None = None,
-                   ) -> list[AlgorithmRun]:
+                   workers: int | None = None) -> list[AlgorithmRun]:
     """Run the named algorithms on one problem and evaluate each solution.
 
     ``kwargs`` optionally maps an algorithm name to extra keyword
-    arguments (e.g. ``{"SLP1": {"seed": 3}}``).
+    arguments (e.g. ``{"SLP1": {"seed": 3}}``).  ``workers`` > 1 fans
+    the algorithms across a process pool (each algorithm is one cell of
+    :func:`repro.perf.parallel.run_cells`); results are identical to the
+    serial run because nothing random is shared between cells.
     """
     kwargs = kwargs or {}
+    names = list(names)
+    if workers is not None and workers > 1 and len(names) > 1:
+        cells = [BenchCell(algorithm=name,
+                           kwargs=tuple(sorted(dict(kwargs.get(name, {}))
+                                               .items())))
+                 for name in names]
+        results = run_cells(problem, cells, workers=workers,
+                            include_solutions=True)
+        return [AlgorithmRun(name=res.algorithm, report=res.report,
+                             solution=res.solution) for res in results]
     runs = []
     for name in names:
         fn = get_algorithm(name)
-        started = time.perf_counter()
-        solution = fn(problem, **dict(kwargs.get(name, {})))
-        elapsed = time.perf_counter() - started
+        # Reuse geometry (containment/volume) computations across the
+        # pipeline stages of each run, exactly as SLP1/SLP do internally.
+        with geometry_cache():
+            started = time.perf_counter()
+            solution = fn(problem, **dict(kwargs.get(name, {})))
+            elapsed = time.perf_counter() - started
         report = evaluate_solution(name, solution, runtime_seconds=elapsed)
         runs.append(AlgorithmRun(name=name, report=report, solution=solution))
     return runs
+
+
+def run_metadata() -> dict[str, Any]:
+    """Provenance block stamped into every ``BENCH_*.json`` payload.
+
+    Records what produced the numbers: the repo commit (``"unknown"``
+    outside a git checkout), a UTC timestamp, and the host's
+    platform/python/CPU identity — enough to interpret absolute
+    runtimes when comparing payloads across machines.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        commit = "unknown"
+    return {
+        "git_commit": commit,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
 
 
 def json_output_dir() -> str | None:
@@ -93,8 +143,10 @@ def write_bench_json(name: str, payload: Mapping[str, Any],
         return None
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
+    body = dict(payload)
+    body.setdefault("metadata", run_metadata())
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(dict(payload), fh, indent=2, default=_jsonable)
+        json.dump(body, fh, indent=2, default=_jsonable)
         fh.write("\n")
     return path
 

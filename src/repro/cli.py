@@ -30,6 +30,13 @@ Commands
     2 on any violation; ``--corrupt`` deliberately breaks the solution
     first to prove the checker fires.
 
+``profile``
+    Solve an instance under the stage profiler and print/export the
+    per-stage wall-clock breakdown; with ``--check-against BASELINE``
+    compare the calibrated timings against a committed profile payload
+    and exit 3 when a stage regressed beyond the tolerance (the CI
+    perf-smoke gate).
+
 ``algorithms``
     List the registered algorithm names.
 """
@@ -37,15 +44,21 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
+from .bench.harness import run_metadata
 from .bench.tables import format_table
 from .core.registry import algorithm_names, get_algorithm
 from .dynamic import DynamicPubSub, generate_churn_trace
 from .metrics import evaluate_solution, runtime_report_rows, total_bandwidth
+from .perf.cache import geometry_cache
+from .perf.profiler import profiled
+from .perf.regression import calibrate, check_regression
 from .pubsub import UniformEvents, simulate_dissemination
 from .runtime import (
     BrokerOutage,
@@ -329,6 +342,82 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 2 if failed else 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    _workload, problem = _build_problem(args)
+    fn = get_algorithm(args.algorithm)
+    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
+
+    calibration = calibrate()
+    best_elapsed = None
+    best_profiler = None
+    best_solution = None
+    for _ in range(max(args.repeats, 1)):
+        with profiled() as profiler, geometry_cache():
+            started = time.perf_counter()
+            solution = fn(problem, **kwargs)
+            elapsed = time.perf_counter() - started
+        if best_elapsed is None or elapsed < best_elapsed:
+            best_elapsed, best_profiler = elapsed, profiler
+            best_solution = solution
+
+    report = evaluate_solution(args.algorithm, best_solution,
+                               runtime_seconds=best_elapsed)
+    stages = sorted(best_profiler.stats().values(),
+                    key=lambda s: -s.seconds)
+    payload = {
+        "benchmark": "profile",
+        "workload": args.workload,
+        "algorithm": args.algorithm,
+        "subscribers": args.subscribers,
+        "brokers": args.brokers,
+        "multilevel": bool(args.multilevel),
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "total_seconds": best_elapsed,
+        "calibration_seconds": calibration,
+        "stages": [stage.as_dict() for stage in stages],
+        "metrics": {
+            "bandwidth": report.bandwidth,
+            "rms_delay": report.rms_delay,
+            "lbf": report.lbf,
+            "feasible": report.feasible,
+        },
+        "metadata": run_metadata(),
+    }
+
+    accounted = sum(stage.seconds for stage in stages)
+    rows = [[stage.name, stage.calls, round(stage.seconds, 4),
+             round(stage.seconds / best_elapsed, 3)] for stage in stages]
+    rows.append(["(unattributed)", "-",
+                 round(max(best_elapsed - accounted, 0.0), 4),
+                 round(max(best_elapsed - accounted, 0.0) / best_elapsed, 3)])
+    rows.append(["total", "-", round(best_elapsed, 4), 1.0])
+    print(f"{args.algorithm} on {args.workload} "
+          f"(m={args.subscribers}, |B|={args.brokers}, "
+          f"best of {args.repeats}; calibration {calibration:.4f}s)")
+    print(format_table(["stage", "calls", "seconds", "share"], rows))
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"profile written to {args.json}")
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regression = check_regression(payload, baseline,
+                                      tolerance=args.tolerance)
+        print(format_table(
+            ["stage", "baseline(norm)", "current(norm)", "ratio", "verdict"],
+            [comparison.as_row() for comparison in regression.comparisons]))
+        if not regression.ok:
+            print("perf regression: "
+                  + ", ".join(regression.regressed_stages), file=sys.stderr)
+            return 3
+    return 0
+
+
 def _command_algorithms(_args: argparse.Namespace) -> int:
     for name in algorithm_names():
         print(name)
@@ -417,6 +506,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--mc-samples", type=int, default=200_000,
                         help="samples for the volume differential oracle")
     verify.set_defaults(handler=_command_verify)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="per-stage wall-clock breakdown (+ perf-regression gate)")
+    _add_instance_arguments(profile)
+    profile.add_argument("--algorithm", default="SLP1",
+                         choices=algorithm_names())
+    profile.add_argument("--repeats", type=int, default=3,
+                         help="profiled runs; the fastest is reported")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="export the profile payload as JSON")
+    profile.add_argument("--check-against", default=None, metavar="BASELINE",
+                         help="compare against a committed profile payload; "
+                              "exit 3 on regression")
+    profile.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed normalized growth per gated stage")
+    profile.set_defaults(handler=_command_profile)
 
     algorithms = subparsers.add_parser("algorithms",
                                        help="list algorithm names")

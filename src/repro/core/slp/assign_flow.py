@@ -72,32 +72,38 @@ class _SlotState:
         self.lo = np.full((num_targets, alpha, dim), np.inf)
         self.hi = np.full((num_targets, alpha, dim), -np.inf)
         self.count = np.zeros(num_targets, dtype=int)
+        # Slot volumes, maintained on commit (0 for unused slots) so the
+        # hot costs() path need not recompute a prod per slot per call.
+        self.volume = np.zeros((num_targets, alpha))
+        self._slot_index = np.arange(alpha)[None, :]
 
     def costs(self, targets: np.ndarray, rect_lo: np.ndarray,
               rect_hi: np.ndarray) -> np.ndarray:
         slot_lo = self.lo[targets]
         slot_hi = self.hi[targets]
         counts = self.count[targets]
-        k, alpha, _dim = slot_lo.shape
-        used = np.arange(alpha)[None, :] < counts[:, None]
+        used = self._slot_index < counts[:, None]
         grown_lo = np.minimum(slot_lo, rect_lo[None, None, :])
         grown_hi = np.maximum(slot_hi, rect_hi[None, None, :])
-        old = np.where(used, np.prod(np.maximum(slot_hi - slot_lo, 0.0), axis=2), 0.0)
+        old = np.where(used, self.volume[targets], 0.0)
         new = np.prod(grown_hi - grown_lo, axis=2)
         enlargement = np.where(used, new - old, np.inf)
         best = enlargement.min(axis=1)
         rect_volume = float(np.prod(rect_hi - rect_lo))
-        open_cost = np.where(counts < alpha, rect_volume, np.inf)
+        open_cost = np.where(counts < self.alpha, rect_volume, np.inf)
         return np.minimum(best, open_cost)
+
+    def _refresh_volume(self, target: int, slot: int) -> None:
+        self.volume[target, slot] = np.prod(np.maximum(
+            self.hi[target, slot] - self.lo[target, slot], 0.0))
 
     def commit(self, target: int, rect_lo: np.ndarray, rect_hi: np.ndarray) -> None:
         n = int(self.count[target])
         if n:
             grown_lo = np.minimum(self.lo[target, :n], rect_lo)
             grown_hi = np.maximum(self.hi[target, :n], rect_hi)
-            old = np.prod(np.maximum(self.hi[target, :n] - self.lo[target, :n], 0.0),
-                          axis=1)
-            enlargement = np.prod(grown_hi - grown_lo, axis=1) - old
+            enlargement = np.prod(grown_hi - grown_lo, axis=1) \
+                - self.volume[target, :n]
             slot = int(enlargement.argmin())
             best = float(enlargement[slot])
         else:
@@ -106,9 +112,11 @@ class _SlotState:
             self.lo[target, n] = rect_lo
             self.hi[target, n] = rect_hi
             self.count[target] += 1
+            self._refresh_volume(target, n)
         else:
             self.lo[target, slot] = np.minimum(self.lo[target, slot], rect_lo)
             self.hi[target, slot] = np.maximum(self.hi[target, slot], rect_hi)
+            self._refresh_volume(target, slot)
 
 
 def _capacities(view: SLPView, betabar: float) -> np.ndarray:
@@ -116,27 +124,96 @@ def _capacities(view: SLPView, betabar: float) -> np.ndarray:
                     * view.num_subscribers).astype(int)
 
 
-def _augment(j: int, coverers: list[np.ndarray], assigned: np.ndarray,
+def _grouped_ranges(counts: np.ndarray) -> np.ndarray:
+    """``[0..c_0), [0..c_1), ...`` concatenated, for grouped gathers."""
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    return np.arange(total) - np.repeat(starts, counts)
+
+
+class _CovererCSR:
+    """Per-subscriber coverer lists flattened into one index array.
+
+    ``flat[starts[j]:starts[j] + counts[j]]`` are subscriber ``j``'s
+    coverers in their original order.  The flat form lets :func:`_augment`
+    expand a whole frontier target with a handful of array operations
+    instead of a Python loop over (subscriber, coverer) pairs.
+
+    ``replace`` updates one subscriber's list without a rebuild: the new
+    list is appended to spare capacity at the tail and the row redirected
+    (the widening pass replaces rows one at a time, so rebuilding the
+    whole structure there was quadratic).
+    """
+
+    __slots__ = ("flat", "starts", "counts", "_used")
+
+    def __init__(self, coverers: list[np.ndarray], spare: int = 0):
+        counts = np.fromiter((len(c) for c in coverers), dtype=np.int64,
+                             count=len(coverers))
+        total = int(counts.sum())
+        starts = np.cumsum(counts) - counts
+        flat = np.empty(total + spare, dtype=np.int64)
+        if total:
+            np.concatenate(coverers, out=flat[:total])
+        self.flat = flat
+        self.starts = starts
+        self.counts = counts
+        self._used = total
+
+    def replace(self, j: int, new_list: np.ndarray) -> None:
+        end = self._used + len(new_list)
+        if end > len(self.flat):  # grow geometrically when spare runs out
+            grown = np.empty(max(end, 2 * len(self.flat)), dtype=np.int64)
+            grown[:self._used] = self.flat[:self._used]
+            self.flat = grown
+        self.flat[self._used:end] = new_list
+        self.starts[j] = self._used
+        self.counts[j] = len(new_list)
+        self._used = end
+
+
+def _augment(j: int, csr: _CovererCSR, assigned: np.ndarray,
              loads: np.ndarray, caps: np.ndarray,
-             subs_of: list[set[int]]) -> bool:
+             subs_of: list[set[int]], num_targets: int,
+             start_override: np.ndarray | None = None,
+             saturated: np.ndarray | None = None) -> bool:
     """Find an augmenting path for subscriber ``j`` and apply it.
 
     BFS over targets: start from ``j``'s coverers; traverse by bumping an
     already-assigned subscriber to another of its coverers; stop at any
     target with spare capacity.  Returns False when no path exists (the
     current flow is maximum for these capacities).
+
+    Each frontier target is expanded in one batch: the coverers of all its
+    assigned subscribers are gathered from the CSR layout and the first
+    discoverer of each newly seen target is kept — exactly what the
+    former ``for s in subs_of[t]: for t2 in coverers[s]`` double loop
+    produced, in the same discovery order.
+
+    ``saturated``, when given, is a mask of targets proven unreachable to
+    spare capacity by an earlier failed search under the *same* caps (see
+    :func:`assign_subscriptions`); a failed search marks its closure there
+    so later searches starting inside it return immediately.
     """
-    start_targets = coverers[j]
+    flat, starts, counts_of = csr.flat, csr.starts, csr.counts
+    if start_override is not None:
+        start_targets = np.asarray(start_override, dtype=np.int64)
+    else:
+        start_targets = flat[starts[j]:starts[j] + counts_of[j]]
     if len(start_targets) == 0:
         return False
-    parent_edge: dict[int, tuple[int, int]] = {}  # target -> (prev_target, moved sub)
-    visited = set()
-    queue: deque[int] = deque()
-    for t in start_targets:
-        t = int(t)
-        visited.add(t)
-        queue.append(t)
-        parent_edge[t] = (-1, j)
+    if saturated is not None and saturated[start_targets].all():
+        # Every start lies in a component already proven saturated: the
+        # BFS would re-explore it and fail.  Failure has no side effects,
+        # so the skip leaves all state exactly as the search would.
+        return False
+    visited = np.zeros(num_targets, dtype=bool)
+    parent_prev = np.empty(num_targets, dtype=np.int64)  # -1 = path start
+    parent_sub = np.empty(num_targets, dtype=np.int64)   # subscriber moved in
+    visited[start_targets] = True
+    parent_prev[start_targets] = -1
+    parent_sub[start_targets] = j
+    queue: deque[int] = deque(start_targets.tolist())
 
     end = -1
     while queue:
@@ -144,14 +221,32 @@ def _augment(j: int, coverers: list[np.ndarray], assigned: np.ndarray,
         if loads[t] < caps[t]:
             end = t
             break
-        for s in list(subs_of[t]):
-            for t2 in coverers[s]:
-                t2 = int(t2)
-                if t2 not in visited:
-                    visited.add(t2)
-                    parent_edge[t2] = (t, int(s))
-                    queue.append(t2)
+        subs = subs_of[t]
+        if not subs:
+            continue
+        subs_arr = np.fromiter(subs, dtype=np.int64, count=len(subs))
+        counts = counts_of[subs_arr]
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        gather = np.repeat(starts[subs_arr], counts) + _grouped_ranges(counts)
+        t2s = flat[gather]
+        unvisited = ~visited[t2s]
+        if not unvisited.any():
+            continue
+        t2s = t2s[unvisited]
+        sources = np.repeat(subs_arr, counts)[unvisited]
+        uniq, first = np.unique(t2s, return_index=True)
+        visited[uniq] = True
+        parent_prev[uniq] = t
+        parent_sub[uniq] = sources[first]
+        queue.extend(uniq[np.argsort(first)].tolist())
     if end < 0:
+        # The search exhausted a saturated component; its visited set is
+        # expansion-closed, so it stays saturated until the caps change
+        # (successful augments never touch targets inside it).
+        if saturated is not None:
+            saturated |= visited
         return False
 
     # Walk back, shifting each moved subscriber one target forward.  The
@@ -160,7 +255,7 @@ def _augment(j: int, coverers: list[np.ndarray], assigned: np.ndarray,
     loads[end] += 1
     t = end
     while True:
-        prev, moved = parent_edge[t]
+        prev, moved = int(parent_prev[t]), int(parent_sub[t])
         if prev == -1:
             assigned[moved] = t
             subs_of[t].add(moved)
@@ -230,12 +325,18 @@ def assign_subscriptions(view: SLPView, filters: list[RectSet],
             stranded.append(int(j))
 
     # Phase 2: complete to a maximum flow; escalate the lbf when stuck.
+    # Within one round the caps are fixed, so each failed search proves
+    # its explored component saturated and later searches confined to it
+    # are skipped (``saturated`` resets when the lbf escalates).
     escalations = 0
     remaining = stranded
+    csr = _CovererCSR(coverers, spare=view.num_targets)
     while remaining:
         still: list[int] = []
+        saturated = np.zeros(view.num_targets, dtype=bool)
         for j in remaining:
-            if not _augment(j, coverers, assigned, loads, caps, subs_of):
+            if not _augment(j, csr, assigned, loads, caps, subs_of,
+                            view.num_targets, saturated=saturated):
                 still.append(j)
         if not still:
             remaining = still
@@ -259,7 +360,14 @@ def assign_subscriptions(view: SLPView, filters: list[RectSet],
             extra = np.flatnonzero(view.feasible[:, j])
             if len(extra):
                 coverers[j] = np.union1d(coverers[j], extra)
-            if not _augment(j, coverers, assigned, loads, caps, subs_of):
+            if _augment(j, csr, assigned, loads, caps, subs_of,
+                        view.num_targets, start_override=coverers[j]):
+                # j is now assigned, so its widened coverer list can matter
+                # to later traversals — patch its CSR row.  Unassigned
+                # subscribers are reached only through their own start set,
+                # which is passed explicitly above.
+                csr.replace(j, coverers[j])
+            else:
                 widened.append(j)
         remaining = widened
 

@@ -45,16 +45,22 @@ class FilterGenConfig:
                  super_subscription_factor: int = 5,
                  eta: float = 0.5,
                  max_length_classes: int = 24,
-                 max_candidates: int = 2000):
+                 max_candidates: int = 2000,
+                 interval_dedupe_tol: float = 1e-9):
         if not (0.5 <= eta < 1.0):
             raise ValueError("eta must be in [1/2, 1)")
         if super_subscription_factor < 1:
             raise ValueError("super_subscription_factor must be positive")
+        if interval_dedupe_tol < 0:
+            raise ValueError("interval_dedupe_tol must be non-negative")
         self.use_super_subscriptions = use_super_subscriptions
         self.super_subscription_factor = super_subscription_factor
         self.eta = eta
         self.max_length_classes = max_length_classes
         self.max_candidates = max_candidates
+        #: Relative tolerance (fraction of the axis extent) below which two
+        #: candidate intervals count as duplicates; 0 = exact dedupe only.
+        self.interval_dedupe_tol = interval_dedupe_tol
 
 
 def _joint_features(subscriptions: RectSet,
@@ -71,12 +77,40 @@ def _joint_features(subscriptions: RectSet,
     return (features - features.min(axis=0)) / spread
 
 
+def _dedupe_intervals(intervals: list[tuple[float, float]],
+                      tol: float) -> list[tuple[float, float]]:
+    """Sorted intervals with near-identical ones dropped.
+
+    ``sorted(set(...))`` only removes *exact* float duplicates; interval
+    classes routinely emit pairs whose endpoints differ by a few ulps
+    (the same members entered through two length classes), and each
+    survivor multiplies through the cross-dimension cartesian product.
+    An interval is dropped when a kept interval matches both endpoints
+    within ``tol``; since the list is sorted by ``a``, only kept
+    intervals with ``a`` within ``tol`` need to be scanned.
+    """
+    unique: list[tuple[float, float]] = []
+    for a, b in sorted(set(intervals)):
+        duplicate = False
+        for a_kept, b_kept in reversed(unique):
+            if a - a_kept > tol:
+                break
+            if abs(b - b_kept) <= tol:
+                duplicate = True
+                break
+        if not duplicate:
+            unique.append((a, b))
+    return unique
+
+
 def _interval_classes(lo: np.ndarray, hi: np.ndarray, eta: float,
-                      max_classes: int) -> list[tuple[float, float]]:
+                      max_classes: int,
+                      dedupe_tol: float = 0.0) -> list[tuple[float, float]]:
     """Step 2 for one axis: the interval families ``J_i = union_j J_ij``.
 
     ``lo``/``hi`` are the projections of the (super-)subscriptions onto
-    the axis.  Returns candidate intervals ``(a, b)``.
+    the axis.  Returns candidate intervals ``(a, b)``, deduplicated with
+    tolerance ``dedupe_tol * extent`` (see :func:`_dedupe_intervals`).
     """
     lengths = hi - lo
     span_lo, span_hi = float(lo.min()), float(hi.max())
@@ -107,11 +141,12 @@ def _interval_classes(lo: np.ndarray, hi: np.ndarray, eta: float,
         while index < len(members):
             anchor = member_lo[index]
             window_hi = anchor + length
-            # Sweep: skip left endpoints within (1 - eta) * length of the anchor.
-            cursor = index
-            while (cursor < len(members)
-                   and member_lo[cursor] < anchor + (1.0 - eta) * length):
-                cursor += 1
+            # Sweep: skip left endpoints within (1 - eta) * length of the
+            # anchor.  member_lo is sorted, so the linear scan is a
+            # binary search for the first endpoint at or past the cutoff.
+            cursor = int(np.searchsorted(member_lo,
+                                         anchor + (1.0 - eta) * length,
+                                         side="left"))
             # Shrink to the tightest interval containing the same members.
             inside = (member_lo >= anchor) & (member_hi <= window_hi)
             if inside.any():
@@ -122,7 +157,7 @@ def _interval_classes(lo: np.ndarray, hi: np.ndarray, eta: float,
             index = cursor
     # Always offer the full axis span (feasibility fallback per dimension).
     intervals.append((span_lo, span_hi))
-    return sorted(set(intervals))
+    return _dedupe_intervals(intervals, dedupe_tol * extent)
 
 
 def generate_candidate_filters(subscriptions: RectSet,
@@ -157,20 +192,23 @@ def generate_candidate_filters(subscriptions: RectSet,
     dim = subscriptions.dim
     axis_intervals = [
         _interval_classes(super_subs.lo[:, axis], super_subs.hi[:, axis],
-                          config.eta, config.max_length_classes)
+                          config.eta, config.max_length_classes,
+                          config.interval_dedupe_tol)
         for axis in range(dim)
     ]
 
-    # Cartesian product across dimensions.
-    product_size = 1
-    for ivs in axis_intervals:
-        product_size *= len(ivs)
-    lo_rows: list[np.ndarray] = []
-    hi_rows: list[np.ndarray] = []
-    for combo in np.ndindex(*[len(ivs) for ivs in axis_intervals]):
-        lo_rows.append(np.array([axis_intervals[a][combo[a]][0] for a in range(dim)]))
-        hi_rows.append(np.array([axis_intervals[a][combo[a]][1] for a in range(dim)]))
-    candidates = RectSet(np.vstack(lo_rows), np.vstack(hi_rows), validate=False)
+    # Cartesian product across dimensions: per-axis meshgrids raveled in
+    # C order, which reproduces the row order of the former per-combo
+    # ``np.ndindex`` loop exactly.
+    axis_lo = [np.fromiter((iv[0] for iv in ivs), dtype=float,
+                           count=len(ivs)) for ivs in axis_intervals]
+    axis_hi = [np.fromiter((iv[1] for iv in ivs), dtype=float,
+                           count=len(ivs)) for ivs in axis_intervals]
+    lo_grid = np.meshgrid(*axis_lo, indexing="ij")
+    hi_grid = np.meshgrid(*axis_hi, indexing="ij")
+    candidates = RectSet(np.stack([g.ravel() for g in lo_grid], axis=1),
+                         np.stack([g.ravel() for g in hi_grid], axis=1),
+                         validate=False)
 
     # Keep only rectangles containing at least one (super-)subscription and
     # shrink each to the MEB of what it contains.

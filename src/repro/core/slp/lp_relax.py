@@ -24,9 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
-
 from ...geometry import RectSet
+from ...perf.fastlp import solve_bounded_lp
+from ...perf.profiler import span
 
 __all__ = ["LPOutcome", "lp_relax"]
 
@@ -57,6 +57,90 @@ def _coverage_possible(feasible: np.ndarray, contain: np.ndarray) -> np.ndarray:
     # one feasible broker and one containing rectangle (any broker may take
     # any rectangle, so the conditions separate).
     return feasible.any(axis=0) & contain.any(axis=0)
+
+
+def _ranges(counts: np.ndarray) -> np.ndarray:
+    """``[0..c_0), [0..c_1), ...`` concatenated, for grouped gathers."""
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    return np.arange(total) - np.repeat(starts, counts)
+
+
+def _assemble_constraints(feasible: np.ndarray, sb_mask: np.ndarray,
+                          contain: np.ndarray, num_y: int, u: int,
+                          pair_broker: np.ndarray, pair_sub: np.ndarray,
+                          kappas: np.ndarray, alpha: int,
+                          beta: float) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Build ``A_ub x <= b_ub`` for C1-C4 with pure index arithmetic.
+
+    Variable layout (matching the docstring): y variables broker-major
+    (``y_ik -> i * u + k``), then one x variable per feasible (i, j) pair
+    in ``np.nonzero(feasible)`` (broker-major) order.  Rows are C1, C2,
+    C3, C4 in that order — the exact matrix the per-row Python loops used
+    to produce, so the LP (and everything downstream of its optimum) is
+    bit-identical to the pre-vectorization implementation.
+    """
+    num_brokers, m = feasible.shape
+    num_x = len(pair_broker)
+
+    # (C1) filter complexity: one row per broker over its y block.
+    c1_rows = np.repeat(np.arange(num_brokers), u)
+    c1_cols = np.arange(num_y)
+    c1_vals = np.ones(num_y)
+    c1_b = np.full(num_brokers, float(alpha))
+    row = num_brokers
+
+    # (C2) coverage, as -sum x <= -1: one row per sample subscriber over
+    # its feasible x variables (stable sort keeps brokers ascending).
+    by_sub = np.argsort(pair_sub, kind="stable")
+    c2_rows = row + pair_sub[by_sub]
+    c2_cols = num_y + by_sub
+    c2_vals = -np.ones(num_x)
+    c2_b = -np.ones(m)
+    row += m
+
+    # (C3) load balance over Sb: one row per broker with >= 1 Sb member.
+    sb_count = int(sb_mask.sum())
+    if sb_count:
+        t_sb = np.flatnonzero(sb_mask[pair_sub])
+        sb_brokers = pair_broker[t_sb]
+        members_per_broker = np.bincount(sb_brokers, minlength=num_brokers)
+        has_members = members_per_broker > 0
+        compacted = np.cumsum(has_members) - 1 + row
+        c3_rows = compacted[sb_brokers]
+        c3_cols = num_y + t_sb
+        c3_vals = np.ones(len(t_sb))
+        c3_b = beta * kappas[has_members] * sb_count
+        row += int(has_members.sum())
+    else:
+        c3_rows = c3_cols = np.empty(0, dtype=int)
+        c3_vals = c3_b = np.empty(0)
+
+    # (C4) nesting: x_t - sum_{k: sigma_{j_t} in R_k} y_{i_t, k} <= 0.
+    # Gather each pair's rectangle list from the (j, k) nonzeros of the
+    # transposed containment matrix, which arrive sorted by j then k.
+    nz_sub, nz_rect = np.nonzero(contain.T)
+    rects_per_sub = np.bincount(nz_sub, minlength=m)
+    rect_offsets = np.cumsum(rects_per_sub) - rects_per_sub
+    rects_per_pair = rects_per_sub[pair_sub]
+    c4_pos_rows = row + np.arange(num_x)
+    c4_pos_cols = num_y + np.arange(num_x)
+    gather = np.repeat(rect_offsets[pair_sub], rects_per_pair) \
+        + _ranges(rects_per_pair)
+    c4_neg_rows = np.repeat(c4_pos_rows, rects_per_pair)
+    c4_neg_cols = np.repeat(pair_broker, rects_per_pair) * u + nz_rect[gather]
+    row += num_x
+
+    rows = np.concatenate([c1_rows, c2_rows, c3_rows, c4_pos_rows,
+                           c4_neg_rows])
+    cols = np.concatenate([c1_cols, c2_cols, c3_cols, c4_pos_cols,
+                           c4_neg_cols])
+    vals = np.concatenate([c1_vals, c2_vals, c3_vals, np.ones(num_x),
+                           -np.ones(len(c4_neg_rows))])
+    b_ub = np.concatenate([c1_b, c2_b, c3_b, np.zeros(num_x)])
+    a_ub = sparse.coo_matrix((vals, (rows, cols)),
+                             shape=(row, num_y + num_x)).tocsr()
+    return a_ub, b_ub
 
 
 def lp_relax(sub_rects: RectSet,
@@ -96,75 +180,21 @@ def lp_relax(sub_rects: RectSet,
 
     volumes = rects.volumes()
 
-    # Variable layout: y variables first (broker-major), then x variables
-    # for each feasible (i, j) pair.
-    def y_var(i: int, k: int) -> int:
-        return i * u + k
-
+    # Variable layout: y variables first (broker-major, ``y_ik -> i*u+k``),
+    # then x variables for each feasible (i, j) pair in nonzero order.
     num_y = num_brokers * u
     pair_broker, pair_sub = np.nonzero(feasible)
     num_x = len(pair_broker)
-    x_index = {(int(i), int(j)): num_y + t
-               for t, (i, j) in enumerate(zip(pair_broker, pair_sub))}
 
     cost = np.zeros(num_y + num_x)
     cost[:num_y] = np.tile(volumes, num_brokers)
 
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    b_ub: list[float] = []
-    row = 0
-
-    # (C1) filter complexity.
-    for i in range(num_brokers):
-        rows.extend([row] * u)
-        cols.extend(y_var(i, k) for k in range(u))
-        vals.extend([1.0] * u)
-        b_ub.append(float(alpha))
-        row += 1
-
-    # (C2) coverage, as -sum x <= -1.
-    for j in range(m):
-        brokers_j = np.flatnonzero(feasible[:, j])
-        rows.extend([row] * len(brokers_j))
-        cols.extend(x_index[(int(i), j)] for i in brokers_j)
-        vals.extend([-1.0] * len(brokers_j))
-        b_ub.append(-1.0)
-        row += 1
-
-    # (C3) load balance over Sb.
-    sb_count = int(sb_mask.sum())
-    if sb_count:
-        for i in range(num_brokers):
-            members = np.flatnonzero(feasible[i] & sb_mask)
-            if len(members) == 0:
-                continue
-            rows.extend([row] * len(members))
-            cols.extend(x_index[(i, int(j))] for j in members)
-            vals.extend([1.0] * len(members))
-            b_ub.append(beta * float(kappas[i]) * sb_count)
-            row += 1
-
-    # (C4) nesting: x_ij - sum_{k: sigma_j in R_k} y_ik <= 0.
-    rect_lists = [np.flatnonzero(contain[:, j]) for j in range(m)]
-    for t in range(num_x):
-        i = int(pair_broker[t])
-        j = int(pair_sub[t])
-        ks = rect_lists[j]
-        rows.append(row)
-        cols.append(num_y + t)
-        vals.append(1.0)
-        rows.extend([row] * len(ks))
-        cols.extend(y_var(i, int(k)) for k in ks)
-        vals.extend([-1.0] * len(ks))
-        b_ub.append(0.0)
-        row += 1
-
-    a_ub = sparse.coo_matrix((vals, (rows, cols)),
-                             shape=(row, num_y + num_x)).tocsr()
-    result = linprog(cost, A_ub=a_ub, b_ub=np.asarray(b_ub),
-                     bounds=(0.0, 1.0), method="highs")
+    with span("lp_assemble"):
+        a_ub, b_ub = _assemble_constraints(feasible, sb_mask, contain,
+                                           num_y, u, pair_broker, pair_sub,
+                                           kappas, alpha, beta)
+    with span("lp_solve"):
+        result = solve_bounded_lp(cost, a_ub, b_ub)
     if not result.success:
         return None
 
@@ -176,30 +206,31 @@ def lp_relax(sub_rects: RectSet,
     keep_probability = 1.0 - np.power(np.clip(1.0 - y_hat, 0.0, 1.0), exponent)
 
     forced = 0
-    for attempt in range(1, _MAX_ROUNDING_ATTEMPTS + 1):
-        chosen = rng.random(y_hat.shape) < keep_probability
-        if _rounded_covers(chosen, feasible, contain):
-            return LPOutcome(
-                filters=[rects.take(np.flatnonzero(chosen[i]))
-                         for i in range(num_brokers)],
-                fractional_objective=fractional,
-                y_fractional=y_hat,
-                rounding_attempts=attempt,
-                forced_rects=0,
-            )
+    with span("lp_round"):
+        for attempt in range(1, _MAX_ROUNDING_ATTEMPTS + 1):
+            chosen = rng.random(y_hat.shape) < keep_probability
+            if _rounded_covers(chosen, feasible, contain):
+                return LPOutcome(
+                    filters=[rects.take(np.flatnonzero(chosen[i]))
+                             for i in range(num_brokers)],
+                    fractional_objective=fractional,
+                    y_fractional=y_hat,
+                    rounding_attempts=attempt,
+                    forced_rects=0,
+                )
 
-    # Deterministic fallback: for each uncovered subscriber, switch on the
-    # (broker, rect) pair with the largest fractional support.
-    chosen = rng.random(y_hat.shape) < keep_probability
-    for j in range(m):
-        if _subscriber_covered(j, chosen, feasible, contain):
-            continue
-        brokers_j = np.flatnonzero(feasible[:, j])
-        ks = rect_lists[j]
-        support = y_hat[np.ix_(brokers_j, ks)]
-        best = np.unravel_index(int(support.argmax()), support.shape)
-        chosen[brokers_j[best[0]], ks[best[1]]] = True
-        forced += 1
+        # Deterministic fallback: for each uncovered subscriber, switch on
+        # the (broker, rect) pair with the largest fractional support.
+        chosen = rng.random(y_hat.shape) < keep_probability
+        for j in range(m):
+            if _subscriber_covered(j, chosen, feasible, contain):
+                continue
+            brokers_j = np.flatnonzero(feasible[:, j])
+            ks = np.flatnonzero(contain[:, j])
+            support = y_hat[np.ix_(brokers_j, ks)]
+            best = np.unravel_index(int(support.argmax()), support.shape)
+            chosen[brokers_j[best[0]], ks[best[1]]] = True
+            forced += 1
     return LPOutcome(
         filters=[rects.take(np.flatnonzero(chosen[i]))
                  for i in range(num_brokers)],

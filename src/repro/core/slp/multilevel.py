@@ -28,8 +28,10 @@ from typing import Any
 
 import numpy as np
 
+from ...perf.cache import geometry_cache
+from ...perf.profiler import span
 from ..problem import SAProblem, SASolution, filters_from_assignment
-from .assign_flow import _augment, assign_subscriptions
+from .assign_flow import _augment, _CovererCSR, assign_subscriptions
 from .sampling import FilterAssignConfig, filter_assign
 from .view import SLPView
 
@@ -65,7 +67,8 @@ def _distribute(view: SLPView, rng: np.random.Generator,
                 info: dict[str, Any]) -> np.ndarray:
     """One SLP1 core run on a view; returns the target row per subscriber."""
     preliminary = filter_assign(view, rng, config)
-    outcome = assign_subscriptions(view, preliminary.filters)
+    with span("assign"):
+        outcome = assign_subscriptions(view, preliminary.filters)
     info["lp_calls"] += preliminary.info.get("lp_calls", 0)
     info["slp1_invocations"] += 1
     if preliminary.fractional_objective is not None:
@@ -124,10 +127,13 @@ def _global_rebalance(problem: SAProblem, assignment: np.ndarray,
             stranded.append(j)
 
     remaining = stranded
+    csr = _CovererCSR(coverers)
     while remaining:
         still: list[int] = []
+        saturated = np.zeros(num_leaves, dtype=bool)
         for j in remaining:
-            if not _augment(j, coverers, assigned, loads, caps, subs_of):
+            if not _augment(j, csr, assigned, loads, caps, subs_of,
+                            num_leaves, saturated=saturated):
                 still.append(j)
         if not still:
             remaining = still
@@ -224,9 +230,13 @@ def slp(problem: SAProblem, *, seed: int = 0, gamma: int = 0,
         for row, child in enumerate(children):
             recurse(child, members[targets == row])
 
-    recurse(0, np.arange(m))
-    assignment = _global_rebalance(problem, assignment, info)
-    filters = filters_from_assignment(problem, assignment, rng)
+    with geometry_cache() as cache:
+        recurse(0, np.arange(m))
+        with span("rebalance"):
+            assignment = _global_rebalance(problem, assignment, info)
+        with span("adjust"):
+            filters = filters_from_assignment(problem, assignment, rng)
+        info["geometry_cache"] = cache.stats()
 
     fractional = (info["fractional_sum"]
                   if info["fractional_levels"] else None)

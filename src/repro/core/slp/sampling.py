@@ -30,6 +30,7 @@ from typing import Any
 import numpy as np
 
 from ...geometry import RectSet
+from ...perf.profiler import span
 from .assign_flow import assign_subscriptions
 from .filtergen import FilterGenConfig, generate_candidate_filters
 from .lp_relax import lp_relax
@@ -101,9 +102,10 @@ def _run_helper(view: SLPView, sample: np.ndarray, rng: np.random.Generator,
         sb_mask = np.isin(sa, sb)
 
         sa_subs = view.subscriptions.take(sa)
-        candidates = generate_candidate_filters(
-            sa_subs, view.num_targets, rng, config.filtergen,
-            network_points=view.network_points[sa])
+        with span("filtergen"):
+            candidates = generate_candidate_filters(
+                sa_subs, view.num_targets, rng, config.filtergen,
+                network_points=view.network_points[sa])
         outcome = lp_relax(sa_subs, view.feasible[:, sa], sb_mask, candidates,
                            view.kappas_effective, view.alpha,
                            float(betas[attempt]), rng)
@@ -264,10 +266,12 @@ def filter_assign(view: SLPView, rng: np.random.Generator,
                 filters, fractional = helper
 
                 expanded = [rects.expand(config.eps) for rects in filters]
-                uncovered = view.uncovered(expanded)
+                with span("coverage_check"):
+                    uncovered = view.uncovered(expanded)
                 load_violators = np.empty(0, dtype=int)
                 if len(uncovered) == 0:
-                    pruned = prune_redundant_rects(view, expanded)
+                    with span("prune"):
+                        pruned = prune_redundant_rects(view, expanded)
                     candidate = FilterAssignResult(
                         filters=pruned,
                         fractional_objective=fractional,
@@ -283,7 +287,8 @@ def filter_assign(view: SLPView, rng: np.random.Generator,
                     # Acceptance additionally requires a load-feasible
                     # assignment; unrouted subscribers become violators so
                     # the reweighting steers future samples toward them.
-                    outcome = assign_subscriptions(view, pruned)
+                    with span("assign"):
+                        outcome = assign_subscriptions(view, pruned)
                     unrouted = outcome.info["unrouted"]
                     if outcome.feasible:
                         candidate.info["runtime_seconds"] = \
@@ -294,7 +299,9 @@ def filter_assign(view: SLPView, rng: np.random.Generator,
                         best = candidate
                     load_violators = outcome.unrouted_subscribers
 
-                violators = np.union1d(view.uncovered(filters), load_violators)
+                with span("coverage_check"):
+                    unexpanded_uncovered = view.uncovered(filters)
+                violators = np.union1d(unexpanded_uncovered, load_violators)
                 if len(violators) == 0 \
                         or weights[violators].sum() <= config.eps * weights.sum():
                     break  # valid iteration

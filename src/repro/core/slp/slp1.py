@@ -21,6 +21,8 @@ import time
 
 import numpy as np
 
+from ...perf.cache import geometry_cache
+from ...perf.profiler import span
 from ..problem import SAProblem, SASolution
 from .adjust import adjust_filters
 from .assign_flow import assign_subscriptions
@@ -38,16 +40,24 @@ def slp1(problem: SAProblem, *, seed: int = 0,
     assignable (path latencies through the real tree are respected), but
     :func:`repro.core.slp.multilevel.slp` is the intended multi-level
     driver.
+
+    The whole run shares one geometry cache, so the containment matrices
+    FilterGen, LPRelax, the coverage/prune passes, and the assignment
+    compute over the same rectangle sets are each computed once.
     """
     started = time.perf_counter()
     rng = np.random.default_rng(seed)
     view = view_from_problem(problem)
 
-    preliminary: FilterAssignResult = filter_assign(view, rng, config)
-    outcome = assign_subscriptions(view, preliminary.filters)
+    with geometry_cache() as cache:
+        preliminary: FilterAssignResult = filter_assign(view, rng, config)
+        with span("assign"):
+            outcome = assign_subscriptions(view, preliminary.filters)
 
-    assignment = problem.tree.leaves[outcome.target_of]
-    filters = adjust_filters(problem, assignment, rng)
+        assignment = problem.tree.leaves[outcome.target_of]
+        with span("adjust"):
+            filters = adjust_filters(problem, assignment, rng)
+        cache_stats = cache.stats()
 
     return SASolution(
         problem=problem,
@@ -61,5 +71,6 @@ def slp1(problem: SAProblem, *, seed: int = 0,
             "flow_feasible": outcome.feasible,
             "filter_assign": preliminary.info,
             "assignment": outcome.info,
+            "geometry_cache": cache_stats,
         },
     )

@@ -63,25 +63,40 @@ def kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
 
     centers = _kmeans_plus_plus(pts, k, rng)
     labels = np.zeros(n, dtype=int)
+    diff = np.empty((n, k, pts.shape[1]))
     for _ in range(max_iterations):
-        # Assignment step (vectorized distance matrix).
-        distances = np.linalg.norm(pts[:, None, :] - centers[None, :, :], axis=2)
+        # Assignment step: same subtract/square/reduce/sqrt sequence as
+        # ``np.linalg.norm(pts[:, None] - centers[None], axis=2)`` (so the
+        # floats are identical), with the big intermediate reused.
+        np.subtract(pts[:, None, :], centers[None, :, :], out=diff)
+        np.multiply(diff, diff, out=diff)
+        distances = np.sqrt(np.add.reduce(diff, axis=2))
         new_labels = distances.argmin(axis=1)
 
-        # Re-seed empty clusters on the points farthest from their centers.
+        # Re-seed empty clusters on the points farthest from their centers
+        # (cluster sizes tracked incrementally: one bincount, not k scans).
+        sizes = np.bincount(new_labels, minlength=k)
         for cluster in range(k):
-            if not np.any(new_labels == cluster):
+            if sizes[cluster] == 0:
                 farthest = distances[np.arange(n), new_labels].argmax()
+                sizes[new_labels[farthest]] -= 1
+                sizes[cluster] = 1
                 new_labels[farthest] = cluster
                 centers[cluster] = pts[farthest]
 
         if np.array_equal(new_labels, labels) and _ > 0:
             break
         labels = new_labels
+        # Update step over label-sorted slices (stable sort keeps each
+        # cluster's points in input order, so the per-cluster mean is the
+        # same float result the boolean-mask form produced).
+        order = np.argsort(labels, kind="stable")
+        sorted_pts = pts[order]
+        bounds = np.searchsorted(labels[order], np.arange(k + 1))
         for cluster in range(k):
-            members = pts[labels == cluster]
-            if members.shape[0]:
-                centers[cluster] = members.mean(axis=0)
+            start, stop = bounds[cluster], bounds[cluster + 1]
+            if stop > start:
+                centers[cluster] = sorted_pts[start:stop].mean(axis=0)
     return labels, centers
 
 

@@ -15,11 +15,18 @@ invariant enforced at construction time.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
 __all__ = ["Rect", "RectSet"]
+
+#: Memoization hook installed by :func:`repro.perf.cache.geometry_cache`.
+#: When set, :meth:`RectSet.containment_matrix` and :meth:`RectSet.volumes`
+#: are served from the cache (keyed on content hashes); ``None`` keeps the
+#: geometry layer free of any caching behavior.
+_GEOMETRY_CACHE = None
 
 
 def _as_coords(values: Sequence[float] | np.ndarray) -> np.ndarray:
@@ -150,7 +157,7 @@ class RectSet:
     mutating in place.
     """
 
-    __slots__ = ("_lo", "_hi")
+    __slots__ = ("_lo", "_hi", "_content_key")
 
     def __init__(self, lo: np.ndarray, hi: np.ndarray, *, validate: bool = True):
         lo_arr = np.ascontiguousarray(lo, dtype=float)
@@ -163,6 +170,7 @@ class RectSet:
         hi_arr.setflags(write=False)
         self._lo = lo_arr
         self._hi = hi_arr
+        self._content_key: bytes | None = None
 
     @classmethod
     def empty(cls, dim: int) -> "RectSet":
@@ -209,8 +217,37 @@ class RectSet:
     def widths(self) -> np.ndarray:
         return self._hi - self._lo
 
+    def content_key(self) -> bytes:
+        """A digest of the coordinate content, computed once per set.
+
+        Two sets with equal coordinates share the key even when they are
+        distinct objects, which is what the geometry cache keys on.  The
+        hash cost is ``O(n d)`` — negligible next to the ``O(n m d)``
+        containment products it deduplicates.
+        """
+        key = self._content_key
+        if key is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.asarray(self._lo.shape, dtype=np.int64).tobytes())
+            digest.update(self._lo.tobytes())
+            digest.update(self._hi.tobytes())
+            key = digest.digest()
+            self._content_key = key
+        return key
+
     def volumes(self) -> np.ndarray:
-        """Per-box volumes, shape ``(n,)``."""
+        """Per-box volumes, shape ``(n,)``.
+
+        Served from the active geometry cache when one is installed (see
+        :func:`repro.perf.cache.geometry_cache`); cached arrays are
+        read-only.
+        """
+        cache = _GEOMETRY_CACHE
+        if cache is not None:
+            return cache.volumes(self)
+        return self._compute_volumes()
+
+    def _compute_volumes(self) -> np.ndarray:
         return np.prod(self._hi - self._lo, axis=1)
 
     def meb(self) -> Rect:
@@ -232,10 +269,25 @@ class RectSet:
 
         Shape ``(len(self), len(inner))``.  Cost is ``O(n * m * d)`` but fully
         vectorized; used to relate candidate filters to subscriptions.
+        Served from the active geometry cache when one is installed (see
+        :func:`repro.perf.cache.geometry_cache`); cached matrices are
+        read-only.
         """
-        lo_ok = np.all(self._lo[:, None, :] <= inner._lo[None, :, :], axis=2)
-        hi_ok = np.all(inner._hi[None, :, :] <= self._hi[:, None, :], axis=2)
-        return lo_ok & hi_ok
+        cache = _GEOMETRY_CACHE
+        if cache is not None:
+            return cache.containment_matrix(self, inner)
+        return self._compute_containment_matrix(inner)
+
+    def _compute_containment_matrix(self, inner: "RectSet") -> np.ndarray:
+        # Accumulate one (n, m) comparison per axis rather than reducing a
+        # materialized (n, m, d) broadcast — same booleans, less memory
+        # traffic on the hottest geometry kernel.
+        result = (self._lo[:, [0]] <= inner._lo[None, :, 0]) \
+            & (inner._hi[None, :, 0] <= self._hi[:, [0]])
+        for axis in range(1, self.dim):
+            result &= self._lo[:, [axis]] <= inner._lo[None, :, axis]
+            result &= inner._hi[None, :, axis] <= self._hi[:, [axis]]
+        return result
 
     def contains_points(self, points: np.ndarray) -> np.ndarray:
         """Matrix ``M[i, j]`` = does box ``i`` contain point ``j``.
@@ -263,11 +315,16 @@ class RectSet:
         matrix = self.containment_matrix(contents)
         new_lo = self._lo.copy()
         new_hi = self._hi.copy()
-        for i in range(len(self)):
-            mask = matrix[i]
-            if mask.any():
-                new_lo[i] = contents._lo[mask].min(axis=0)
-                new_hi[i] = contents._hi[mask].max(axis=0)
+        occupied = matrix.any(axis=1)
+        if occupied.any():
+            # min/max over the contained subset, batched over all boxes;
+            # identity elements make uncontained entries inert.
+            masked_lo = np.where(matrix[:, :, None], contents._lo[None, :, :],
+                                 np.inf)
+            masked_hi = np.where(matrix[:, :, None], contents._hi[None, :, :],
+                                 -np.inf)
+            new_lo[occupied] = masked_lo.min(axis=1)[occupied]
+            new_hi[occupied] = masked_hi.max(axis=1)[occupied]
         return RectSet(new_lo, new_hi, validate=False)
 
     def dedupe(self) -> "RectSet":

@@ -1,0 +1,111 @@
+"""Process-pool parallel bench runner with deterministic per-cell RNG.
+
+The bench harness runs every (workload, algorithm, seed) cell serially;
+this module fans independent cells across a process pool.  Determinism
+is by construction: each cell's randomness derives *only* from the
+cell's own seed (spawned with :func:`spawn_cell_seeds` from a single
+root), never from shared mutable state, so the parallel run reproduces
+the serial run seed-for-seed regardless of worker count or scheduling.
+
+Heavy imports happen inside the worker function so this module can be
+imported from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BenchCell", "CellResult", "cell_matrix", "run_cells",
+           "spawn_cell_seeds"]
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One (algorithm, seed) cell of a benchmark matrix.
+
+    ``seed`` is passed to the algorithm only when its signature accepts
+    one (the SLP variants); deterministic algorithms ignore it but keep
+    it as a label.  ``kwargs`` holds extra keyword arguments as a sorted
+    item tuple so the cell stays hashable and picklable.
+    """
+
+    algorithm: str
+    seed: int | None = None
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The report (and optionally the solution) of one executed cell."""
+
+    algorithm: str
+    seed: int | None
+    report: Any                    #: repro.metrics.SolutionReport
+    solution: Any | None = None    #: SASolution when requested
+
+
+def spawn_cell_seeds(root_seed: int, count: int) -> list[int]:
+    """``count`` independent per-cell seeds derived from one root seed.
+
+    Uses ``numpy.random.SeedSequence.spawn`` so the family is
+    deterministic, collision-free, and stable across platforms.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(root_seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def cell_matrix(algorithms: Sequence[str],
+                seeds: Sequence[int]) -> list[BenchCell]:
+    """The (algorithm x seed) cartesian product, algorithm-major."""
+    return [BenchCell(algorithm=name, seed=int(seed))
+            for name in algorithms for seed in seeds]
+
+
+def _run_cell(task: tuple[Any, BenchCell, bool]) -> CellResult:
+    """Execute one cell (worker entry point; must stay module-level)."""
+    import inspect
+    import time
+
+    from ..core.registry import get_algorithm
+    from ..metrics.report import evaluate_solution
+    from .cache import geometry_cache
+
+    problem, cell, include_solution = task
+    fn = get_algorithm(cell.algorithm)
+    kwargs = dict(cell.kwargs)
+    if cell.seed is not None and "seed" in inspect.signature(fn).parameters:
+        kwargs.setdefault("seed", cell.seed)
+    with geometry_cache():
+        started = time.perf_counter()
+        solution = fn(problem, **kwargs)
+        elapsed = time.perf_counter() - started
+        report = evaluate_solution(cell.algorithm, solution,
+                                   runtime_seconds=elapsed)
+    return CellResult(algorithm=cell.algorithm, seed=cell.seed, report=report,
+                      solution=solution if include_solution else None)
+
+
+def run_cells(problem: Any, cells: Iterable[BenchCell], *,
+              workers: int | None = None,
+              include_solutions: bool = False) -> list[CellResult]:
+    """Run bench cells on one problem, serially or across a process pool.
+
+    Results come back in cell order either way, and — because each cell
+    is seeded independently — are identical to the serial run.
+    ``workers=None`` or ``<= 1`` stays in-process (no pickling), which is
+    also the fallback for single-cell calls.
+    """
+    cell_list = list(cells)
+    tasks = [(problem, cell, include_solutions) for cell in cell_list]
+    if workers is None or workers <= 1 or len(cell_list) <= 1:
+        return [_run_cell(task) for task in tasks]
+    max_workers = min(workers, len(cell_list))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_cell, tasks))

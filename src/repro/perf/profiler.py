@@ -1,0 +1,151 @@
+"""Lightweight per-stage profiling spans for the SLP pipeline.
+
+The paper reports SLP runtime as a first-class result (Figure 11), so the
+reproduction needs to know *where* the time goes, not just the total.
+This module provides named wall-clock spans with call counts, cheap
+enough to leave compiled into the hot paths permanently:
+
+* when no profiler is installed, :func:`span` returns a shared no-op
+  context manager — one module-global read per call site;
+* ``with profiled() as profiler:`` installs a :class:`Profiler` for the
+  duration; nested ``profiled()`` blocks reuse the active profiler so a
+  benchmark wrapping :func:`repro.core.slp.slp1` aggregates the stages
+  of every nested helper into one flat breakdown.
+
+The resulting payload (:meth:`Profiler.as_payload`) is JSON-ready and is
+exported by ``python -m repro profile`` next to the existing runtime
+telemetry, giving ``BENCH_*.json`` files a per-stage breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Profiler", "StageStat", "active_profiler", "profiled", "span"]
+
+
+@dataclass
+class StageStat:
+    """Aggregate wall-clock and call count of one named stage."""
+
+    name: str
+    calls: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "calls": self.calls,
+                "seconds": self.seconds}
+
+
+class Profiler:
+    """Flat per-stage wall-clock accumulator.
+
+    Stages are identified by name only; a stage entered from several call
+    sites (e.g. ``assign`` from both FilterAssign's acceptance check and
+    the final SLP1 assignment) aggregates into one row, which is what the
+    per-stage breakdown wants.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, StageStat] = {}
+        self._started = time.perf_counter()
+
+    def record(self, name: str, seconds: float) -> None:
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = StageStat(name)
+        stat.calls += 1
+        stat.seconds += seconds
+
+    def stats(self) -> dict[str, StageStat]:
+        return dict(self._stats)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock since this profiler was created."""
+        return time.perf_counter() - self._started
+
+    def as_payload(self) -> dict[str, Any]:
+        """JSON-ready per-stage breakdown, hottest stage first."""
+        stages = sorted(self._stats.values(),
+                        key=lambda s: s.seconds, reverse=True)
+        return {
+            "stages": [stat.as_dict() for stat in stages],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_payload(), fh, indent=2)
+            fh.write("\n")
+
+    def __repr__(self) -> str:
+        return f"Profiler(stages={len(self._stats)})"
+
+
+#: The installed profiler; ``None`` keeps every span a no-op.
+_ACTIVE: Profiler | None = None
+
+
+class _Span:
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: Profiler, name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        self._profiler.record(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str) -> _Span | _NullSpan:
+    """A context manager timing one stage; free when no profiler is active."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NULL_SPAN
+    return _Span(profiler, name)
+
+
+def active_profiler() -> Profiler | None:
+    return _ACTIVE
+
+
+@contextmanager
+def profiled(profiler: Profiler | None = None):
+    """Install a profiler for the duration of the block.
+
+    Nested calls (without an explicit ``profiler``) reuse the active one,
+    so instrumented code can be composed freely without double-booking.
+    """
+    global _ACTIVE
+    if profiler is None and _ACTIVE is not None:
+        yield _ACTIVE
+        return
+    previous = _ACTIVE
+    _ACTIVE = profiler or Profiler()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

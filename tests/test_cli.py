@@ -152,3 +152,68 @@ class TestVerifyCommand:
         assert main(["verify", *SMALL, "--algorithms", "Gr*",
                      "--corrupt", "latency", "--skip-oracles"]) == 2
         assert "latency" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    TINY = ["--subscribers", "120", "--brokers", "4", "--seed", "3"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.algorithm == "SLP1"
+        assert args.repeats == 3
+        assert args.tolerance == 0.30
+        assert args.json is None
+        assert args.check_against is None
+
+    def test_profile_smoke(self, capsys):
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "Gr*"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "total" in out
+        assert "calibration" in out
+
+    def test_profile_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "SLP1", "--json", str(path)]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(path.read_text())
+        assert payload["algorithm"] == "SLP1"
+        assert payload["total_seconds"] > 0
+        assert payload["calibration_seconds"] > 0
+        names = {stage["name"] for stage in payload["stages"]}
+        assert {"filtergen", "lp_solve", "assign"} <= names
+        assert payload["metadata"]["host"]["python"]
+        assert payload["metrics"]["feasible"] in (True, False)
+
+    def test_check_against_passes_against_self(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "Gr*", "--json", str(path)]) == 0
+        # Wide tolerance: a micro run's wall-clock jitters far more than
+        # a real benchmark's; this asserts the gate plumbing, not timing.
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "Gr*", "--tolerance", "5.0",
+                     "--check-against", str(path)]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_check_against_regression_exits_three(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "baseline.json"
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "Gr*", "--json", str(path)]) == 0
+        baseline = json_mod.loads(path.read_text())
+        # Shrink the baseline 10x: the rerun now "regresses" far past 30%.
+        baseline["total_seconds"] /= 10.0
+        for stage in baseline["stages"]:
+            stage["seconds"] /= 10.0
+        path.write_text(json_mod.dumps(baseline))
+        assert main(["profile", *self.TINY, "--repeats", "1",
+                     "--algorithm", "Gr*",
+                     "--check-against", str(path)]) == 3
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "perf regression" in captured.err

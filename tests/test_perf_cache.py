@@ -1,0 +1,114 @@
+"""Tests for the memoizing geometry cache (repro.perf.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.slp import slp1
+from repro.geometry import RectSet, rectangle
+from repro.perf.cache import GeometryCache, active_geometry_cache, geometry_cache
+from repro.verify import STRATEGY_NAMES, random_problem
+
+
+class TestExactness:
+    """Cached geometry must be the *identical* floats, on every strategy."""
+
+    @pytest.mark.parametrize("kind", STRATEGY_NAMES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_containment_matches_uncached(self, kind, seed):
+        subs = random_problem(seed, kind).problem.subscriptions
+        plain = RectSet._compute_containment_matrix(subs, subs)
+        with geometry_cache():
+            cached = subs.containment_matrix(subs)
+            again = subs.containment_matrix(subs)
+        assert np.array_equal(plain, cached)
+        assert again is cached  # hits return the memoized array itself
+
+    @pytest.mark.parametrize("kind", STRATEGY_NAMES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_volumes_match_uncached(self, kind, seed):
+        subs = random_problem(seed, kind).problem.subscriptions
+        plain = RectSet._compute_volumes(subs)
+        with geometry_cache():
+            cached = subs.volumes()
+            again = subs.volumes()
+        assert np.array_equal(plain, cached)
+        assert again is cached
+
+    def test_content_addressed_across_objects(self):
+        # Equal coordinates in distinct objects share one entry.
+        lo = np.array([[0.0, 0.0], [2.0, 2.0]])
+        hi = np.array([[1.0, 1.0], [3.0, 3.0]])
+        with geometry_cache() as cache:
+            first = RectSet(lo, hi).volumes()
+            second = RectSet(lo.copy(), hi.copy()).volumes()
+        assert second is first
+        assert cache.stats()["hits"] == 1
+
+    def test_cached_arrays_are_read_only(self):
+        subs = random_problem(0, "uniform").problem.subscriptions
+        with geometry_cache():
+            assert not subs.volumes().flags.writeable
+            assert not subs.containment_matrix(subs).flags.writeable
+
+
+class TestLifecycle:
+    def test_inactive_outside_block(self):
+        assert active_geometry_cache() is None
+        with geometry_cache() as cache:
+            assert active_geometry_cache() is cache
+        assert active_geometry_cache() is None
+
+    def test_nested_blocks_share_outer_cache(self):
+        with geometry_cache() as outer:
+            with geometry_cache() as inner:
+                assert inner is outer
+            assert active_geometry_cache() is outer
+
+    def test_hit_and_miss_counting(self):
+        subs = random_problem(3, "clustered").problem.subscriptions
+        with geometry_cache() as cache:
+            subs.volumes()
+            subs.volumes()
+            subs.containment_matrix(subs)
+            subs.containment_matrix(subs)
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 2
+        assert stats["volume_entries"] == 1
+        assert stats["containment_entries"] == 1
+
+    def test_fifo_eviction_bounds_entries(self):
+        rng = np.random.default_rng(0)
+        cache = GeometryCache(max_entries=2)
+        rectangle._GEOMETRY_CACHE = cache
+        try:
+            for _ in range(5):
+                lo = rng.random((3, 2))
+                RectSet(lo, lo + 1.0).volumes()
+        finally:
+            rectangle._GEOMETRY_CACHE = None
+        assert cache.stats()["volume_entries"] == 2
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            GeometryCache(max_entries=0)
+
+
+class TestPipelineIntegration:
+    def test_slp1_reports_cache_stats_and_stays_deterministic(self):
+        problem = random_problem(5, "clustered").problem
+        first = slp1(problem, seed=2)
+        second = slp1(problem, seed=2)
+        stats = first.info["geometry_cache"]
+        assert stats["hits"] > 0  # the pipeline reuses geometry
+        assert np.array_equal(first.assignment, second.assignment)
+
+    def test_slp1_identical_under_outer_cache(self):
+        # Wrapping the whole run in a harness-level cache must not change
+        # the solution (the cache is exact, so only timings may differ).
+        problem = random_problem(6, "uniform").problem
+        plain = slp1(problem, seed=4)
+        with geometry_cache():
+            wrapped = slp1(problem, seed=4)
+        assert np.array_equal(plain.assignment, wrapped.assignment)
+        assert plain.fractional_bandwidth == wrapped.fractional_bandwidth

@@ -1,0 +1,91 @@
+"""Tests for the parallel bench runner (repro.perf.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_algorithms
+from repro.perf.parallel import (
+    BenchCell,
+    cell_matrix,
+    run_cells,
+    spawn_cell_seeds,
+)
+from repro.verify import random_problem
+
+
+def report_key(report):
+    """Everything deterministic about a report (runtime is wall-clock)."""
+    row = report.as_row()
+    row.pop("runtime_s")
+    return row
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        assert spawn_cell_seeds(7, 5) == spawn_cell_seeds(7, 5)
+
+    def test_spawn_is_collision_free(self):
+        seeds = spawn_cell_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_distinct_roots_differ(self):
+        assert spawn_cell_seeds(0, 4) != spawn_cell_seeds(1, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_cell_seeds(0, -1)
+
+    def test_cell_matrix_is_algorithm_major(self):
+        cells = cell_matrix(["A", "B"], [1, 2])
+        assert [(c.algorithm, c.seed) for c in cells] == [
+            ("A", 1), ("A", 2), ("B", 1), ("B", 2)]
+
+
+class TestRunCells:
+    def test_parallel_reproduces_serial_seed_for_seed(self):
+        problem = random_problem(11, "clustered").problem
+        cells = cell_matrix(["SLP1", "Gr*"], spawn_cell_seeds(3, 2))
+        serial = run_cells(problem, cells)
+        parallel = run_cells(problem, cells, workers=4)
+        assert len(serial) == len(parallel) == len(cells)
+        for cell, ours, theirs in zip(cells, serial, parallel):
+            assert ours.algorithm == theirs.algorithm == cell.algorithm
+            assert ours.seed == theirs.seed == cell.seed
+            assert report_key(ours.report) == report_key(theirs.report)
+
+    def test_solutions_returned_on_request(self):
+        problem = random_problem(12, "uniform").problem
+        cells = [BenchCell(algorithm="Gr*")]
+        with_solution = run_cells(problem, cells, include_solutions=True)
+        without = run_cells(problem, cells)
+        assert with_solution[0].solution is not None
+        assert without[0].solution is None
+
+    def test_parallel_solutions_round_trip(self):
+        # Solutions must survive pickling back from the pool unchanged.
+        problem = random_problem(13, "uniform").problem
+        cells = cell_matrix(["Gr*", "Gr"], [0, 1])
+        serial = run_cells(problem, cells, include_solutions=True)
+        parallel = run_cells(problem, cells, workers=4,
+                             include_solutions=True)
+        for ours, theirs in zip(serial, parallel):
+            assert np.array_equal(ours.solution.assignment,
+                                  theirs.solution.assignment)
+
+    def test_single_cell_stays_in_process(self):
+        problem = random_problem(14, "uniform").problem
+        results = run_cells(problem, [BenchCell(algorithm="Gr*")], workers=8)
+        assert len(results) == 1
+
+
+class TestHarnessWorkers:
+    def test_run_algorithms_workers_matches_serial(self):
+        problem = random_problem(15, "skewed").problem
+        kwargs = {"SLP1": {"seed": 5}}
+        serial = run_algorithms(problem, ["SLP1", "Gr*"], kwargs)
+        fanned = run_algorithms(problem, ["SLP1", "Gr*"], kwargs, workers=4)
+        assert [run.name for run in serial] == [run.name for run in fanned]
+        for ours, theirs in zip(serial, fanned):
+            assert report_key(ours.report) == report_key(theirs.report)
+            assert np.array_equal(ours.solution.assignment,
+                                  theirs.solution.assignment)

@@ -1,0 +1,90 @@
+"""Tests for the per-stage profiler (repro.perf.profiler)."""
+
+import time
+
+import pytest
+
+from repro.core.slp import slp1
+from repro.perf.profiler import (
+    Profiler,
+    _NULL_SPAN,
+    active_profiler,
+    profiled,
+    span,
+)
+from repro.verify import random_problem
+
+
+class TestSpans:
+    def test_span_is_noop_without_profiler(self):
+        assert active_profiler() is None
+        assert span("anything") is _NULL_SPAN
+
+    def test_span_records_inside_profiled(self):
+        with profiled() as profiler:
+            with span("work"):
+                time.sleep(0.01)
+            with span("work"):
+                pass
+        stats = profiler.stats()
+        assert stats["work"].calls == 2
+        assert stats["work"].seconds >= 0.01
+
+    def test_nested_profiled_reuses_active(self):
+        with profiled() as outer:
+            with profiled() as inner:
+                assert inner is outer
+                with span("inner_stage"):
+                    pass
+        assert "inner_stage" in outer.stats()
+        assert active_profiler() is None
+
+    def test_explicit_profiler_instance(self):
+        mine = Profiler()
+        with profiled(mine) as active:
+            assert active is mine
+            with span("stage"):
+                pass
+        assert mine.stats()["stage"].calls == 1
+
+
+class TestPayload:
+    def test_payload_sorted_hottest_first(self):
+        profiler = Profiler()
+        profiler.record("cold", 0.001)
+        profiler.record("hot", 1.0)
+        payload = profiler.as_payload()
+        names = [stage["name"] for stage in payload["stages"]]
+        assert names == ["hot", "cold"]
+        assert payload["elapsed_seconds"] >= 0.0
+        for stage in payload["stages"]:
+            assert set(stage) == {"name", "calls", "seconds"}
+
+    def test_dump_round_trips(self, tmp_path):
+        import json
+
+        profiler = Profiler()
+        profiler.record("stage", 0.5)
+        path = tmp_path / "profile.json"
+        profiler.dump(str(path))
+        data = json.loads(path.read_text())
+        assert data["stages"][0]["name"] == "stage"
+
+
+class TestPipelineStages:
+    def test_slp1_emits_expected_stage_names(self):
+        problem = random_problem(2, "uniform").problem
+        with profiled() as profiler:
+            slp1(problem, seed=1)
+        names = set(profiler.stats())
+        # The pipeline's tentpole stages must all be instrumented.
+        assert {"filtergen", "assign", "adjust"} <= names
+        # LP stages appear whenever LPRelax ran (always on these sizes).
+        assert {"lp_assemble", "lp_solve"} <= names
+
+    def test_no_profiler_leak_after_run(self):
+        problem = random_problem(2, "uniform").problem
+        with profiled():
+            slp1(problem, seed=1)
+        assert active_profiler() is None
+        assert span("later") is _NULL_SPAN

@@ -118,3 +118,44 @@ class TestGenerateCandidateFilters:
             FilterGenConfig(eta=1.0)
         with pytest.raises(ValueError):
             FilterGenConfig(super_subscription_factor=0)
+
+
+class TestIntervalDedupe:
+    def test_near_duplicates_collapse(self):
+        from repro.core.slp.filtergen import _dedupe_intervals
+
+        intervals = [(0.0, 1.0), (1e-12, 1.0 + 1e-12), (0.5, 1.5)]
+        assert _dedupe_intervals(intervals, 1e-9) == [(0.0, 1.0), (0.5, 1.5)]
+
+    def test_zero_tolerance_keeps_distinct_floats(self):
+        from repro.core.slp.filtergen import _dedupe_intervals
+
+        intervals = [(0.0, 1.0), (1e-12, 1.0), (0.0, 1.0)]  # one exact dup
+        assert _dedupe_intervals(intervals, 0.0) == [(0.0, 1.0), (1e-12, 1.0)]
+
+    def test_close_lo_far_hi_survives(self):
+        from repro.core.slp.filtergen import _dedupe_intervals
+
+        intervals = [(0.0, 1.0), (1e-12, 2.0)]
+        assert _dedupe_intervals(intervals, 1e-9) == intervals
+
+    def test_interval_classes_dedupe_reduces_candidates(self):
+        from repro.core.slp.filtergen import _interval_classes
+
+        # Projections engineered so two length classes emit the same
+        # interval up to float noise.
+        lo = np.array([0.0, 0.0 + 1e-13, 4.0])
+        hi = np.array([1.0, 1.0 - 1e-13, 5.0])
+        exact = _interval_classes(lo, hi, eta=0.5, max_classes=8,
+                                  dedupe_tol=0.0)
+        tolerant = _interval_classes(lo, hi, eta=0.5, max_classes=8,
+                                     dedupe_tol=1e-9)
+        assert len(tolerant) <= len(exact)
+        # Every projection is still covered by some tolerant interval.
+        for a, b in zip(lo, hi):
+            assert any(ivl_a <= a + 1e-9 and b <= ivl_b + 1e-9
+                       for ivl_a, ivl_b in tolerant)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            FilterGenConfig(interval_dedupe_tol=-1e-9)
