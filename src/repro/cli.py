@@ -37,6 +37,19 @@ Commands
     and exit 3 when a stage regressed beyond the tolerance (the CI
     perf-smoke gate).
 
+``serve``
+    Run the live asyncio pub/sub broker daemon: a JSON-over-TCP gateway
+    (``subscribe`` / ``unsubscribe`` / ``publish`` / ``stats``) in front
+    of the online greedy assigner, with a background churn-triggered
+    re-optimizer whose every re-assignment is invariant-verified before
+    being swapped in.
+
+``loadgen``
+    Drive a running ``serve`` daemon with N concurrent subscriber
+    connections plus publishers, and report end-to-end delivery-latency
+    percentiles and delivery rate (optionally as a ``BENCH_serve_*``
+    JSON payload).
+
 ``algorithms``
     List the registered algorithm names.
 """
@@ -44,6 +57,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import time
@@ -68,6 +82,13 @@ from .runtime import (
     RuntimeConfig,
     apply_fault_plan,
     replay_churn,
+)
+from .serve import (
+    LoadGenConfig,
+    ServeConfig,
+    ServeDaemon,
+    run_loadgen,
+    write_loadgen_json,
 )
 from .verify import (
     ALL_CHECKS,
@@ -234,6 +255,12 @@ def _parse_outage(spec: str) -> BrokerOutage:
 
 
 def _command_runtime(args: argparse.Namespace) -> int:
+    if args.max_events is not None and args.events > args.max_events:
+        print(f"error: --events {args.events} exceeds the --max-events "
+              f"guard ({args.max_events}); refusing an unbounded replay",
+              file=sys.stderr)
+        return 2
+
     workload, problem = _build_problem(args)
     fn = get_algorithm(args.algorithm)
     kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
@@ -248,7 +275,8 @@ def _command_runtime(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             link_loss=args.link_loss,
             fault_seed=args.seed,
-            trace_events=args.trace_events)
+            trace_events=args.trace_events,
+            max_duration=args.duration)
         plan = (FaultPlan(outages=tuple(args.crash),
                           failover_delay=args.failover_delay)
                 if args.crash or args.link_loss else None)
@@ -291,6 +319,15 @@ def _command_runtime(args: argparse.Namespace) -> int:
     if args.telemetry_json:
         result.telemetry.dump(args.telemetry_json)
         print(f"telemetry written to {args.telemetry_json}")
+    if args.result_json:
+        result.dump(args.result_json)
+        print(f"result written to {args.result_json}")
+    if result.aborted:
+        print(f"error: run aborted at simulated time {result.duration:.6g} "
+              f"— the --duration guard ({args.duration:.6g}) fired before "
+              f"the replay drained (malformed or runaway churn trace?)",
+              file=sys.stderr)
+        return 2
     fault_free = plan is None and args.churn_horizon == 0
     return 1 if (fault_free and result.total_missed) else 0
 
@@ -418,6 +455,93 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    _workload, problem = _build_problem(args)
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        queue_capacity=args.queue_capacity or 1024,
+        seed=args.seed,
+        reopt_threshold=args.reopt_threshold,
+        reopt_poll_interval=args.reopt_poll,
+        reopt_algorithm=args.reopt_algorithm)
+    daemon = ServeDaemon(problem, config)
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(f"serving {problem} on {config.host}:{daemon.port} "
+              f"(reopt threshold {config.reopt_threshold}, "
+              f"queue capacity {config.queue_capacity})", flush=True)
+        await daemon.run(run_for=args.run_for)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    stats = daemon.stats()
+    print(format_table(["metric", "value"],
+                       [[k, v] for k, v in sorted(stats.items())]))
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.active > args.subscribers:
+        print(f"error: --active {args.active} exceeds the population "
+              f"(--subscribers {args.subscribers})", file=sys.stderr)
+        return 2
+    workload, _problem = _build_problem(args)
+    try:
+        config = LoadGenConfig(
+            host=args.host, port=args.port,
+            subscribers=args.active,
+            publishers=args.publishers,
+            events=args.events,
+            rate=args.rate,
+            duration=args.duration,
+            churn_interval=args.churn_interval,
+            seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    distribution = UniformEvents(workload.event_domain)
+    try:
+        report = asyncio.run(run_loadgen(distribution, config))
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"error: cannot reach the daemon at "
+              f"{config.host}:{config.port}: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_table(["metric", "value"], [
+        ["subscriber connections", report.subscribers],
+        ["events published", report.events_published],
+        ["events received (wire)", report.events_received],
+        ["delivery rate", report.delivery_rate],
+        ["dropped (backpressure)", report.dropped_backpressure],
+        ["latency p50 (s)", report.latency_p50],
+        ["latency p95 (s)", report.latency_p95],
+        ["latency p99 (s)", report.latency_p99],
+        ["latency max (s)", report.latency_max],
+        ["re-optimizations", report.reoptimizations],
+        ["reopt rejected", report.reopt_rejected],
+        ["reopt migrations", report.reopt_migrations],
+        ["churn flaps", report.churn_flaps],
+        ["achieved rate (ev/s)", report.achieved_rate],
+        ["wall seconds", report.wall_seconds]]))
+    if args.json:
+        path = write_loadgen_json(args.json, report, config)
+        print(f"payload written to {path}")
+
+    if report.delivery_rate < args.min_delivery_rate:
+        print(f"error: delivery rate {report.delivery_rate:.4f} below the "
+              f"--min-delivery-rate gate ({args.min_delivery_rate})",
+              file=sys.stderr)
+        return 1
+    if report.reoptimizations < args.min_reopts:
+        print(f"error: {report.reoptimizations} re-optimizations, below "
+              f"the --min-reopts gate ({args.min_reopts})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_algorithms(_args: argparse.Namespace) -> int:
     for name in algorithm_names():
         print(name)
@@ -483,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record trace spans for the first N events")
     runtime.add_argument("--telemetry-json", default=None, metavar="PATH",
                          help="export the run's telemetry as JSON")
+    runtime.add_argument("--result-json", default=None, metavar="PATH",
+                         help="export the runtime result as JSON")
+    runtime.add_argument("--duration", type=float, default=None,
+                         help="abort (exit 2) past this simulated time — "
+                              "guards replays against runaway churn traces")
+    runtime.add_argument("--max-events", type=int, default=None,
+                         help="refuse (exit 2) when --events exceeds this")
     runtime.set_defaults(handler=_command_runtime)
 
     verify = subparsers.add_parser(
@@ -523,6 +654,49 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--tolerance", type=float, default=0.30,
                          help="allowed normalized growth per gated stage")
     profile.set_defaults(handler=_command_profile)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the live asyncio pub/sub broker daemon")
+    _add_instance_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 = ephemeral, printed on startup)")
+    serve.add_argument("--queue-capacity", type=int, default=1024,
+                       help="per-subscriber delivery queue depth")
+    serve.add_argument("--reopt-threshold", type=int, default=64,
+                       help="churn events triggering a re-optimization")
+    serve.add_argument("--reopt-poll", type=float, default=0.25,
+                       help="seconds between churn checks")
+    serve.add_argument("--reopt-algorithm", default="SLP1",
+                       choices=algorithm_names())
+    serve.add_argument("--run-for", type=float, default=None,
+                       help="shut down cleanly after N seconds "
+                            "(default: run until interrupted)")
+    serve.set_defaults(handler=_command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a serve daemon and measure latency")
+    _add_instance_arguments(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7411)
+    loadgen.add_argument("--active", type=int, default=100,
+                         help="concurrent subscriber connections")
+    loadgen.add_argument("--publishers", type=int, default=4)
+    loadgen.add_argument("--events", type=int, default=2000,
+                         help="events to publish (pre-sampled, seeded)")
+    loadgen.add_argument("--rate", type=float, default=500.0,
+                         help="aggregate publish rate, events/second")
+    loadgen.add_argument("--duration", type=float, default=None,
+                         help="wall-clock cap on the publish phase")
+    loadgen.add_argument("--churn-interval", type=float, default=0.0,
+                         help="seconds between subscriber flaps (0 = off)")
+    loadgen.add_argument("--min-delivery-rate", type=float, default=0.0,
+                         help="exit 1 when the delivery rate ends lower")
+    loadgen.add_argument("--min-reopts", type=int, default=0,
+                         help="exit 1 with fewer live re-optimizations")
+    loadgen.add_argument("--json", default=None, metavar="PATH",
+                         help="write the BENCH_serve payload here")
+    loadgen.set_defaults(handler=_command_loadgen)
 
     algorithms = subparsers.add_parser("algorithms",
                                        help="list algorithm names")

@@ -157,18 +157,24 @@ class DynamicPubSub:
 
     # -- re-optimization -----------------------------------------------------------
 
-    def reoptimize(self, algorithm: str = "SLP1",
-                   **kwargs: Any) -> dict[str, Any]:
+    def reoptimize(self, algorithm: str = "SLP1", *,
+                   precommit: Any = None, **kwargs: Any) -> dict[str, Any]:
         """Reassign all active subscribers with a full (offline) algorithm.
 
         Returns a summary including the migration count.  The online
         filter state is re-seeded from the optimizer's adjusted filters,
         so subsequent arrivals grow tight filters rather than drifted
         ones.
+
+        ``precommit``, when given, is called as ``precommit(sub_problem,
+        solution)`` *before* any state changes; a falsy return vetoes
+        the re-optimization — nothing is migrated, the summary carries
+        ``committed: False`` — which is how the live service refuses to
+        swap in a solution that fails invariant verification.
         """
         active = self.active_indices
         if len(active) == 0:
-            return {"migrations": 0, "active": 0}
+            return {"migrations": 0, "active": 0, "committed": False}
 
         sub_problem = SAProblem(
             self._problem.tree,
@@ -178,6 +184,9 @@ class DynamicPubSub:
             kappas=self._problem.kappas,
         )
         solution = get_algorithm(algorithm)(sub_problem, **kwargs)
+        if precommit is not None and not precommit(sub_problem, solution):
+            return {"migrations": 0, "active": int(len(active)),
+                    "algorithm": algorithm, "committed": False}
 
         old = self._assignment[active]
         new = np.asarray(solution.assignment, dtype=int)
@@ -193,4 +202,5 @@ class DynamicPubSub:
             "algorithm": algorithm,
             "bandwidth": total_bandwidth(solution.filters),
             "fractional": solution.fractional_bandwidth,
+            "committed": True,
         }

@@ -19,7 +19,9 @@ asserts this invariant for every algorithm.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -28,7 +30,12 @@ from ..network.tree import PUBLISHER, BrokerTree
 from .events import EventDistribution
 from .filters import Filter
 
-__all__ = ["SimulationResult", "sample_event_stream", "simulate_dissemination"]
+__all__ = ["SimulationResult", "sample_event_stream", "simulate_dissemination",
+           "SIMULATION_SCHEMA_VERSION"]
+
+#: Schema version stamped into JSON exports (matches the runtime's), so
+#: serve/runtime/bench outputs are uniformly parseable.
+SIMULATION_SCHEMA_VERSION = 1
 
 
 def sample_event_stream(distribution: EventDistribution,
@@ -106,6 +113,29 @@ class SimulationResult:
         if expected == 0:
             return 1.0
         return float(self.deliveries.sum()) / expected
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export sharing the bench payloads' schema fields."""
+        return {
+            "schema_version": SIMULATION_SCHEMA_VERSION,
+            "kind": "simulation_result",
+            "num_events": self.num_events,
+            "node_entries": self.node_entries.tolist(),
+            "deliveries": self.deliveries.tolist(),
+            "missed": self.missed.tolist(),
+            "total_delivery_latency": self.total_delivery_latency,
+            "total_broker_entries": self.total_broker_entries,
+            "delivery_rate": self.delivery_rate,
+        }
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`to_dict` plus the git/host provenance block."""
+        from ..bench.harness import run_metadata  # lazy: avoids cycles
+        payload = self.to_dict()
+        payload["metadata"] = run_metadata()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
 
 def simulate_dissemination(tree: BrokerTree,

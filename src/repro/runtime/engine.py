@@ -35,6 +35,7 @@ broken by insertion order.
 from __future__ import annotations
 
 import heapq
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -48,7 +49,12 @@ from ..pubsub.filters import Filter
 from ..pubsub.simulator import SimulationResult, sample_event_stream
 from .telemetry import Telemetry
 
-__all__ = ["RuntimeConfig", "RuntimeResult", "DisseminationEngine"]
+__all__ = ["RuntimeConfig", "RuntimeResult", "DisseminationEngine",
+           "RESULT_SCHEMA_VERSION"]
+
+#: Schema version stamped into result/telemetry JSON exports so
+#: serve/runtime/bench payloads are uniformly parseable.
+RESULT_SCHEMA_VERSION = 1
 
 # Control actions run before message arrivals scheduled at the same
 # timestamp (a crash at t affects the event arriving at t), and
@@ -66,10 +72,13 @@ class RuntimeConfig:
     link_loss: float = 0.0          #: per-hop message loss probability
     fault_seed: int = 0             #: seed of the loss RNG (independent of events)
     trace_events: int = 0           #: record a trace span for the first N events
+    max_duration: float | None = None  #: abort past this simulated time
 
     def __post_init__(self) -> None:
         if self.publish_interval < 0:
             raise ValueError("publish_interval must be non-negative")
+        if self.max_duration is not None and self.max_duration <= 0:
+            raise ValueError("max_duration must be positive (or None)")
         if self.service_time < 0:
             raise ValueError("service_time must be non-negative")
         if self.queue_capacity is not None and self.queue_capacity < 1:
@@ -96,6 +105,7 @@ class RuntimeResult:
     duration: float                #: simulated time of the last processed action
     queue_peaks: np.ndarray        #: max ingress queue depth seen per node
     telemetry: Telemetry
+    aborted: bool = False          #: run hit the config's ``max_duration``
 
     @property
     def total_broker_entries(self) -> int:
@@ -145,6 +155,36 @@ class RuntimeResult:
             deliveries=self.deliveries,
             missed=self.missed,
             total_delivery_latency=self.total_delivery_latency)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export sharing the bench payloads' schema fields.
+
+        Deterministic (no provenance); :meth:`dump` adds the git/host
+        metadata block so runtime outputs parse like ``BENCH_*.json``.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "runtime_result",
+            "num_events": self.num_events,
+            "node_entries": self.node_entries.tolist(),
+            "deliveries": self.deliveries.tolist(),
+            "missed": self.missed.tolist(),
+            "total_delivery_latency": self.total_delivery_latency,
+            "duration": self.duration,
+            "queue_peaks": self.queue_peaks.tolist(),
+            "aborted": self.aborted,
+            "delivery_rate": self.delivery_rate,
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`to_dict` plus the provenance metadata block."""
+        from ..bench.harness import run_metadata
+        payload = self.to_dict()
+        payload["metadata"] = run_metadata()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
 
 class _BrokerState:
@@ -347,9 +387,18 @@ class DisseminationEngine:
         for k in range(num_events):
             self._push(k * self.config.publish_interval, _PRIO_PUBLISH, k)
 
+        aborted = False
+        max_duration = self.config.max_duration
         heap = self._heap
         while heap:
             time, prio, _seq, payload = heapq.heappop(heap)
+            if max_duration is not None and time > max_duration:
+                # The guard against runaway replays: everything still
+                # scheduled lies beyond the budget, so stop here.
+                aborted = True
+                self.telemetry.counter("aborted_max_duration").inc()
+                heap.clear()
+                break
             self._now = max(self._now, time)
             if prio == _PRIO_CONTROL:
                 payload(self, time)
@@ -377,7 +426,8 @@ class DisseminationEngine:
             total_delivery_latency=self._total_latency,
             duration=self._now,
             queue_peaks=peaks,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            aborted=aborted)
 
     def _push(self, time: float, prio: int, payload: Any) -> None:
         heapq.heappush(self._heap, (time, prio, self._seq, payload))

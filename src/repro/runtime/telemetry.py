@@ -24,7 +24,11 @@ from typing import Any
 import numpy as np
 
 __all__ = ["Counter", "Gauge", "Histogram", "TraceSpan", "Telemetry",
-           "default_latency_buckets"]
+           "default_latency_buckets", "TELEMETRY_SCHEMA_VERSION"]
+
+#: Version of the exported JSON layout; parsers key on it, and every
+#: export carries it so serve/runtime/bench payloads read uniformly.
+TELEMETRY_SCHEMA_VERSION = 1
 
 
 class Counter:
@@ -269,6 +273,7 @@ class Telemetry:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
             "counters": {k: c.to_dict() for k, c in sorted(self._counters.items())},
             "gauges": {k: g.to_dict() for k, g in sorted(self._gauges.items())},
             "histograms": {k: h.to_dict()
@@ -280,8 +285,18 @@ class Telemetry:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def dump(self, path: str) -> None:
+        """Write the JSON export with the bench payloads' provenance block.
+
+        ``to_json`` stays deterministic (run-to-run comparable); the
+        file form additionally records git commit, timestamp, and host —
+        the same metadata ``BENCH_*.json`` carries — so persisted
+        telemetry is interpretable long after the run.
+        """
+        from ..bench.harness import run_metadata  # lazy: avoids cycles
+        payload = self.to_dict()
+        payload["metadata"] = run_metadata()
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
+            json.dump(payload, fh, indent=2, sort_keys=False)
             fh.write("\n")
 
     def __repr__(self) -> str:

@@ -1,0 +1,38 @@
+"""repro.serve — the live asyncio pub/sub broker service.
+
+Promotes the library from a batch optimizer into a long-running daemon:
+a JSON-over-TCP gateway (:mod:`~repro.serve.gateway`) fronting a live
+broker (:mod:`~repro.serve.broker`) that routes events through the
+current assignment's filter tree into per-subscriber bounded delivery
+queues, while a background re-optimizer (:mod:`~repro.serve.reoptimizer`)
+watches churn and swaps invariant-verified re-assignments in atomically.
+:mod:`~repro.serve.client` and :mod:`~repro.serve.loadgen` drive it and
+measure end-to-end delivery latency.
+
+The discrete-event :mod:`repro.runtime` is this service's differential
+oracle: the same seeded workload through both yields identical
+per-subscriber delivery counts (``tests/test_serve_oracle.py``).
+"""
+
+from .broker import DeliveryQueue, LiveBroker, RoutingTable
+from .client import ServeClient, ServeError
+from .gateway import ServeConfig, ServeDaemon
+from .loadgen import LoadGenConfig, LoadGenReport, run_loadgen, \
+    write_loadgen_json
+from .reoptimizer import Reoptimizer, ReoptimizerConfig
+
+__all__ = [
+    "DeliveryQueue",
+    "LiveBroker",
+    "RoutingTable",
+    "ServeClient",
+    "ServeError",
+    "ServeConfig",
+    "ServeDaemon",
+    "Reoptimizer",
+    "ReoptimizerConfig",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "run_loadgen",
+    "write_loadgen_json",
+]

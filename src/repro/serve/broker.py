@@ -1,0 +1,306 @@
+"""Live broker core: routing table, delivery queues, publication path.
+
+This is the in-process heart of the service — everything the TCP
+gateway does funnels into a :class:`LiveBroker`.  The broker owns:
+
+* a :class:`~repro.dynamic.manager.DynamicPubSub` manager placing
+  arrivals with the online greedy rule (filters grow-only between
+  re-optimizations, exactly the paper's deployment story);
+* an immutable :class:`RoutingTable` snapshot (assignment + broker
+  filters) that ``publish`` reads and a re-optimization swaps
+  *atomically* — one reference assignment, never a half-updated tree;
+* one bounded FIFO :class:`DeliveryQueue` per active subscriber with
+  drop accounting: when a subscriber's client cannot drain fast enough,
+  the broker sheds its events instead of stalling the publish path
+  (backpressure).
+
+Delivery semantics mirror the batch simulator and the discrete-event
+runtime exactly: an event reaches a leaf iff every filter on the
+publisher-to-leaf path contains it, and is delivered to each active
+assigned subscriber whose subscription contains it (matched via the
+:mod:`repro.pubsub.matching` machinery).  That equivalence is what the
+serve-vs-runtime differential oracle asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import SAProblem
+from ..dynamic.manager import DynamicPubSub
+from ..network.tree import PUBLISHER, BrokerTree
+from ..pubsub.filters import Filter
+from ..pubsub.matching import BruteForceMatcher
+
+__all__ = ["DeliveryQueue", "RoutingTable", "LiveBroker"]
+
+#: Sentinel closing a delivery queue's consumer loop.
+_CLOSE = object()
+
+
+class DeliveryQueue:
+    """A bounded per-subscriber FIFO with backpressure drop accounting."""
+
+    def __init__(self, subscriber: int, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.subscriber = subscriber
+        self.capacity = capacity
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=capacity + 1)
+        self.enqueued = 0
+        self.dropped = 0
+        self.peak = 0
+        self.closed = False
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue without blocking; ``False`` (and a drop) when full."""
+        if self.closed or self._queue.qsize() >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.put_nowait(item)
+        self.enqueued += 1
+        self.peak = max(self.peak, self._queue.qsize())
+        return True
+
+    async def get(self) -> Any:
+        """Next item, or the module's close sentinel once closed."""
+        if self.closed and self._queue.empty():
+            return _CLOSE
+        return await self._queue.get()
+
+    @staticmethod
+    def is_close(item: Any) -> bool:
+        return item is _CLOSE
+
+    def close(self) -> None:
+        """Wake the consumer; pending items after the sentinel are shed."""
+        if self.closed:
+            return
+        self.closed = True
+        # Reserved headroom (maxsize = capacity + 1) guarantees room.
+        self._queue.put_nowait(_CLOSE)
+
+
+class RoutingTable:
+    """An immutable snapshot of the dissemination state.
+
+    ``publish`` only ever reads one table object, and the reoptimizer
+    replaces the broker's reference wholesale, so routing is atomic with
+    respect to re-assignment without any locking on the hot path.
+    """
+
+    __slots__ = ("version", "tree", "filters", "assignment")
+
+    def __init__(self, version: int, tree: BrokerTree,
+                 filters: dict[int, Filter], assignment: np.ndarray):
+        self.version = version
+        self.tree = tree
+        self.filters = dict(filters)
+        assignment = np.asarray(assignment, dtype=int).copy()
+        assignment.setflags(write=False)
+        self.assignment = assignment
+
+    def route(self, point: np.ndarray) -> tuple[list[int], set[int]]:
+        """Walk the tree; return (entered broker nodes, reached leaves)."""
+        entered: list[int] = []
+        reached: set[int] = set()
+        stack = [PUBLISHER]
+        while stack:
+            node = stack.pop()
+            for child in self.tree.children(node):
+                if not self.filters[child].contains_point(point):
+                    continue
+                entered.append(child)
+                if self.tree.is_leaf(child):
+                    reached.add(child)
+                else:
+                    stack.append(child)
+        return entered, reached
+
+
+class LiveBroker:
+    """The live service state machine behind the gateway.
+
+    All mutating entry points run on the event loop (or behind the
+    gateway's churn lock for the thread-offloaded re-optimization), so
+    plain attribute updates are safe; ``publish`` never awaits between
+    reading the routing table and accounting the event, making each
+    publication atomic from the loop's point of view.
+    """
+
+    def __init__(self, problem: SAProblem, *, queue_capacity: int = 1024,
+                 seed: int = 0):
+        self._problem = problem
+        self._manager = DynamicPubSub(problem, seed=seed)
+        self._matcher = BruteForceMatcher(problem.subscriptions)
+        self._queue_capacity = queue_capacity
+        self._queues: dict[int, DeliveryQueue] = {}
+
+        m = problem.num_subscribers
+        self.deliveries = np.zeros(m, dtype=np.int64)   #: enqueued per sub
+        self.drops = np.zeros(m, dtype=np.int64)        #: shed per sub
+        self.node_entries = np.zeros(problem.tree.num_nodes, dtype=np.int64)
+        self.published = 0
+        self.matched = 0
+        self.missed = 0          #: matched but leaf unreachable via filters
+        self.subscribes = 0
+        self.unsubscribes = 0
+        self.churn_since_reopt = 0
+        self._routing = self._build_routing(version=0)
+
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def problem(self) -> SAProblem:
+        return self._problem
+
+    @property
+    def manager(self) -> DynamicPubSub:
+        return self._manager
+
+    @property
+    def routing(self) -> RoutingTable:
+        return self._routing
+
+    @property
+    def active_count(self) -> int:
+        return self._manager.active_count
+
+    def queue(self, subscriber: int) -> DeliveryQueue:
+        return self._queues[subscriber]
+
+    def _build_routing(self, version: int) -> RoutingTable:
+        return RoutingTable(version, self._problem.tree,
+                            self._manager.current_filters(),
+                            self._manager.assignment)
+
+    def _swap_routing(self) -> None:
+        self._routing = self._build_routing(self._routing.version + 1)
+
+    # -- membership ----------------------------------------------------------
+
+    def _validate_subscriber(self, subscriber: Any) -> int:
+        if isinstance(subscriber, bool) or not isinstance(subscriber, int):
+            raise ValueError("subscriber must be an integer population index")
+        if not (0 <= subscriber < self._problem.num_subscribers):
+            raise ValueError(
+                f"subscriber {subscriber} outside the population "
+                f"[0, {self._problem.num_subscribers})")
+        return subscriber
+
+    def subscribe(self, subscriber: Any) -> int:
+        """Activate a population member; returns its assigned leaf node."""
+        j = self._validate_subscriber(subscriber)
+        if j in self._queues:
+            raise ValueError(f"subscriber {j} is already subscribed")
+        leaf = self._manager.arrive(j)
+        self._queues[j] = DeliveryQueue(j, self._queue_capacity)
+        self.subscribes += 1
+        self.churn_since_reopt += 1
+        self._swap_routing()
+        return leaf
+
+    def unsubscribe(self, subscriber: Any) -> None:
+        """Deactivate a subscriber; its queued events are shed."""
+        j = self._validate_subscriber(subscriber)
+        if j not in self._queues:
+            raise ValueError(f"subscriber {j} is not subscribed")
+        self._manager.depart(j)
+        self._queues.pop(j).close()
+        self.unsubscribes += 1
+        self.churn_since_reopt += 1
+        self._swap_routing()
+
+    # -- publication ---------------------------------------------------------
+
+    def publish(self, point: Any, *, sent_at: float | None = None,
+                event_id: Any = None) -> dict[str, int]:
+        """Route one event through the current table; returns the counts."""
+        pt = np.asarray(point, dtype=float)
+        if pt.shape != (self._problem.event_dim,):
+            raise ValueError(f"event point must have {self._problem.event_dim}"
+                             f" coordinates, got shape {pt.shape}")
+        if not np.all(np.isfinite(pt)):
+            raise ValueError("event point coordinates must be finite")
+
+        table = self._routing
+        entered, reached = table.route(pt)
+        self.node_entries[PUBLISHER] += 1
+        for node in entered:
+            self.node_entries[node] += 1
+        self.published += 1
+
+        matched = self._matcher.match_point(pt)
+        assignment = table.assignment
+        matched = matched[assignment[matched] >= 0]
+        delivered = 0
+        dropped = 0
+        for j in matched:
+            j = int(j)
+            if assignment[j] not in reached:
+                self.missed += 1
+                continue
+            queue = self._queues.get(j)
+            if queue is None:  # unsubscribed after the snapshot was taken
+                self.missed += 1
+                continue
+            if queue.offer((pt, sent_at, event_id)):
+                self.deliveries[j] += 1
+                delivered += 1
+            else:
+                self.drops[j] += 1
+                dropped += 1
+        self.matched += int(len(matched))
+        return {"matched": int(len(matched)), "delivered": delivered,
+                "dropped": dropped,
+                "missed": int(len(matched)) - delivered - dropped}
+
+    # -- re-optimization -----------------------------------------------------
+
+    def reoptimize(self, algorithm: str = "SLP1", *,
+                   precommit=None, **kwargs: Any) -> dict[str, Any]:
+        """Full re-assignment of the active set, atomically swapped in.
+
+        ``precommit`` (see :meth:`DynamicPubSub.reoptimize`) may veto the
+        new solution — the invariant gate — in which case the manager
+        state and the routing table are left untouched.
+        """
+        info = self._manager.reoptimize(algorithm, precommit=precommit,
+                                        **kwargs)
+        if info.get("committed", True):
+            self.churn_since_reopt = 0
+            self._swap_routing()
+        return info
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def delivery_rate(self) -> float:
+        """Enqueued fraction of matched events (1.0 when none matched)."""
+        if self.matched == 0:
+            return 1.0
+        return float(self.deliveries.sum()) / self.matched
+
+    def stats(self) -> dict[str, Any]:
+        queues = self._queues.values()
+        return {
+            "active_subscribers": self.active_count,
+            "published": self.published,
+            "matched": self.matched,
+            "delivered": int(self.deliveries.sum()),
+            "dropped_backpressure": int(self.drops.sum()),
+            "missed": self.missed,
+            "delivery_rate": self.delivery_rate,
+            "broker_entries": int(self.node_entries[1:].sum()),
+            "subscribes": self.subscribes,
+            "unsubscribes": self.unsubscribes,
+            "churn_since_reopt": self.churn_since_reopt,
+            "routing_version": self._routing.version,
+            "queue_depth_peak": max((q.peak for q in queues), default=0),
+        }

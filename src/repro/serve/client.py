@@ -1,0 +1,130 @@
+"""Asyncio client for the live pub/sub gateway.
+
+A :class:`ServeClient` owns one TCP connection.  A background reader
+demultiplexes the stream: replies are matched to in-flight requests by
+correlation id, pushed event frames land in :attr:`events` (an asyncio
+queue) for the subscriber side to drain.  Every mutating request is
+stamped with a unique idempotency key automatically, so the transport
+layer may be retried safely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from typing import Any
+
+from . import protocol
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A gateway error reply, surfaced with its protocol error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.gateway.ServeDaemon`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._tag = os.urandom(6).hex()
+        self._seq = itertools.count()
+        self._pending: dict[int, asyncio.Future] = {}
+        self.events: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await protocol.read_frame(self._reader)
+                if message is None:
+                    break
+                if message.get("type") == "event":
+                    self.events.put_nowait(message)
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (protocol.ProtocolError, ConnectionResetError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionResetError("connection closed"))
+            self._pending.clear()
+
+    async def request(self, op: str, *, timeout: float = 30.0,
+                      **fields: Any) -> dict[str, Any]:
+        """Send one request and await its reply; raises on error replies."""
+        req_id = next(self._seq)
+        message: dict[str, Any] = {"op": op, "id": req_id, **fields}
+        if op in protocol.MUTATING_OPS and "key" not in message:
+            message["key"] = f"{self._tag}-{req_id}"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        await protocol.write_frame(self._writer, message)
+        response = await asyncio.wait_for(future, timeout)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "error"),
+                             response.get("message", "request failed"))
+        return response
+
+    # -- convenience ops -----------------------------------------------------
+
+    async def ping(self) -> dict[str, Any]:
+        return await self.request("ping")
+
+    async def stats(self) -> dict[str, Any]:
+        return (await self.request("stats"))["stats"]
+
+    async def subscribe(self, subscriber: int) -> dict[str, Any]:
+        return await self.request("subscribe", subscriber=subscriber)
+
+    async def unsubscribe(self, subscriber: int) -> dict[str, Any]:
+        return await self.request("unsubscribe", subscriber=subscriber)
+
+    async def publish(self, point: Any, *, sent_at: float | None = None,
+                      event_id: Any = None) -> dict[str, Any]:
+        fields: dict[str, Any] = {"point": [float(x) for x in point]}
+        if sent_at is not None:
+            fields["sentAt"] = sent_at
+        if event_id is not None:
+            fields["eventId"] = event_id
+        return await self.request("publish", **fields)

@@ -1,0 +1,295 @@
+"""The JSON-over-TCP gateway: asyncio streams front-end of the broker.
+
+``ServeDaemon`` binds a listening socket and speaks the newline-delimited
+JSON protocol of :mod:`repro.serve.protocol`.  Each connection may issue
+any mix of ops; a connection that subscribes becomes the delivery
+channel for those subscribers — a per-subscriber *pump* task drains the
+broker's bounded delivery queue into the connection's writer, so one
+slow client sheds its own events (queue drops) without stalling anyone
+else.
+
+Mutating requests honour idempotency keys: the first response for a key
+is cached and replayed verbatim for duplicates, so retries cannot
+double-subscribe or double-publish.  Validation failures (bad JSON,
+unknown op, missing fields) get an error reply and the connection
+lives on.  A disconnecting client's subscribers are auto-unsubscribed —
+dropped connections are churn, which is exactly what feeds the
+background :class:`~repro.serve.reoptimizer.Reoptimizer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.problem import SAProblem
+from . import protocol
+from .broker import DeliveryQueue, LiveBroker
+from .reoptimizer import Reoptimizer, ReoptimizerConfig
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+#: Idempotency responses remembered per daemon before the oldest expire.
+_IDEMPOTENCY_CACHE_SIZE = 65536
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Network and behaviour knobs of the daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    #: 0 = ephemeral; see ``ServeDaemon.port``
+    queue_capacity: int = 1024       #: per-subscriber delivery queue depth
+    seed: int = 0                    #: online-greedy manager seed
+    reopt_threshold: int = 64        #: churn events triggering re-optimization
+    reopt_poll_interval: float = 0.25
+    reopt_algorithm: str = "SLP1"
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+
+
+class _Connection:
+    """Per-connection state: owned subscribers and their pump tasks."""
+
+    __slots__ = ("writer", "write_lock", "subscribers", "pumps")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.subscribers: set[int] = set()
+        self.pumps: dict[int, asyncio.Task] = {}
+
+
+class ServeDaemon:
+    """A live pub/sub broker daemon over one SA problem instance."""
+
+    def __init__(self, problem: SAProblem,
+                 config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.broker = LiveBroker(problem,
+                                 queue_capacity=self.config.queue_capacity,
+                                 seed=self.config.seed)
+        #: Serializes churn (subscribe/unsubscribe) against the
+        #: thread-offloaded re-optimization.
+        self.churn_lock = asyncio.Lock()
+        self.reoptimizer = Reoptimizer(
+            self.broker,
+            ReoptimizerConfig(churn_threshold=self.config.reopt_threshold,
+                              poll_interval=self.config.reopt_poll_interval,
+                              algorithm=self.config.reopt_algorithm,
+                              seed=self.config.seed),
+            churn_lock=self.churn_lock)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._idempotency: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.requests = 0
+        self.request_errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the ephemeral choice)."""
+        if self._server is None:
+            raise RuntimeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_FRAME_BYTES)
+        self.reoptimizer.start()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop live connections, cancel the reoptimizer."""
+        await self.reoptimizer.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            conn.writer.close()
+
+    async def run(self, run_for: float | None = None) -> None:
+        """Serve until cancelled (or for ``run_for`` seconds), then stop."""
+        assert self._server is not None, "call start() first"
+        try:
+            if run_for is None:
+                await self._server.serve_forever()
+            else:
+                await asyncio.sleep(run_for)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader)
+                except protocol.ProtocolError as exc:
+                    self.request_errors += 1
+                    await self._send(conn, protocol.error_reply(
+                        {}, exc.code, str(exc)))
+                    continue
+                except (asyncio.LimitOverrunError, ValueError):
+                    break  # oversized frame: framing is lost, drop the link
+                if request is None:
+                    break
+                response = await self._dispatch(request, conn)
+                await self._send(conn, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            await self._teardown(conn)
+
+    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
+        async with conn.write_lock:
+            await protocol.write_frame(conn.writer, message)
+
+    async def _teardown(self, conn: _Connection) -> None:
+        """Auto-unsubscribe a closing connection's subscribers (churn)."""
+        for pump in conn.pumps.values():
+            pump.cancel()
+        if conn.subscribers:
+            async with self.churn_lock:
+                for j in list(conn.subscribers):
+                    try:
+                        self.broker.unsubscribe(j)
+                    except ValueError:
+                        pass  # already gone via an explicit unsubscribe race
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _dispatch(self, request: dict[str, Any],
+                        conn: _Connection) -> dict[str, Any]:
+        self.requests += 1
+        op = request.get("op")
+        if not isinstance(op, str) or op not in protocol.ALL_OPS:
+            self.request_errors += 1
+            return protocol.error_reply(
+                request, protocol.ERR_UNKNOWN_OP,
+                f"unknown op {op!r}; expected one of "
+                f"{sorted(protocol.ALL_OPS)}")
+
+        key = request.get("key")
+        if key is not None and op in protocol.MUTATING_OPS:
+            if not isinstance(key, str):
+                self.request_errors += 1
+                return protocol.error_reply(
+                    request, protocol.ERR_INVALID,
+                    "idempotency key must be a string")
+            cached = self._idempotency.get(key)
+            if cached is not None:
+                response = dict(cached)
+                response["idempotent_replay"] = True
+                if "id" in request:
+                    response["id"] = request["id"]
+                else:
+                    response.pop("id", None)
+                return response
+
+        try:
+            response = await self._apply(op, request, conn)
+        except (ValueError, protocol.ProtocolError) as exc:
+            self.request_errors += 1
+            code = getattr(exc, "code", protocol.ERR_INVALID)
+            response = protocol.error_reply(request, code, str(exc))
+
+        if key is not None and op in protocol.MUTATING_OPS \
+                and response.get("ok"):
+            self._idempotency[key] = response
+            while len(self._idempotency) > _IDEMPOTENCY_CACHE_SIZE:
+                self._idempotency.popitem(last=False)
+        return response
+
+    async def _apply(self, op: str, request: dict[str, Any],
+                     conn: _Connection) -> dict[str, Any]:
+        if op == "ping":
+            return protocol.reply(request, pong=True,
+                                  protocol=protocol.PROTOCOL_VERSION)
+        if op == "stats":
+            return protocol.reply(request, stats=self.stats())
+        if op == "subscribe":
+            j = _field(request, "subscriber")
+            async with self.churn_lock:
+                leaf = self.broker.subscribe(j)
+            conn.subscribers.add(j)
+            conn.pumps[j] = asyncio.get_running_loop().create_task(
+                self._pump(self.broker.queue(j), conn, j))
+            return protocol.reply(request, subscriber=j, leaf=leaf,
+                                  routing_version=self.broker.routing.version)
+        if op == "unsubscribe":
+            j = _field(request, "subscriber")
+            async with self.churn_lock:
+                self.broker.unsubscribe(j)
+            conn.subscribers.discard(j)
+            pump = conn.pumps.pop(j, None)
+            if pump is not None:
+                pump.cancel()
+            return protocol.reply(request, subscriber=j)
+        # publish
+        point = _field(request, "point")
+        if not isinstance(point, (list, tuple)):
+            raise protocol.ProtocolError(
+                protocol.ERR_INVALID, "publish point must be a number list")
+        sent_at = request.get("sentAt")
+        if sent_at is not None and not isinstance(sent_at, (int, float)):
+            raise protocol.ProtocolError(
+                protocol.ERR_INVALID, "sentAt must be a number")
+        summary = self.broker.publish(point, sent_at=sent_at,
+                                      event_id=request.get("eventId"))
+        return protocol.reply(request, **summary)
+
+    async def _pump(self, queue: DeliveryQueue, conn: _Connection,
+                    subscriber: int) -> None:
+        """Drain one delivery queue into the owning connection."""
+        seq = 0
+        try:
+            while True:
+                item = await queue.get()
+                if DeliveryQueue.is_close(item):
+                    return
+                point, sent_at, event_id = item
+                await self._send(conn, protocol.event_message(
+                    subscriber, seq, [float(x) for x in point],
+                    sent_at, event_id))
+                seq += 1
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        payload = dict(self.broker.stats())
+        payload.update(self.reoptimizer.stats())
+        payload["connections"] = len(self._connections)
+        payload["requests"] = self.requests
+        payload["request_errors"] = self.request_errors
+        return payload
+
+
+def _field(request: dict[str, Any], name: str) -> Any:
+    try:
+        return request[name]
+    except KeyError:
+        raise protocol.ProtocolError(
+            protocol.ERR_INVALID,
+            f"op {request.get('op')!r} requires field {name!r}") from None

@@ -1,0 +1,241 @@
+"""Load generator: drive the daemon and measure end-to-end latency.
+
+Opens one connection per subscriber (thousands are fine — asyncio
+multiplexes them on one loop), a handful of publisher connections, and
+an optional churn connection that unsubscribes/resubscribes members to
+trigger the daemon's background re-optimization mid-bench.
+
+Publishers stamp each event with ``sentAt`` (monotonic clock);
+subscriber consumers stamp receipt, so every delivered event yields one
+end-to-end latency sample: gateway parse -> broker routing -> delivery
+queue -> pump -> TCP -> client.  The report carries p50/p95/p99/max
+latency, the server-side delivery rate (enqueued / matched), and the
+daemon's re-optimization counters — the numbers behind
+``BENCH_serve_*.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+from ..pubsub.events import EventDistribution
+from ..pubsub.simulator import sample_event_stream
+from .client import ServeClient, ServeError
+
+__all__ = ["LoadGenConfig", "LoadGenReport", "run_loadgen",
+           "write_loadgen_json"]
+
+#: Schema of the loadgen JSON payload (bumped on breaking changes).
+LOADGEN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of one load-generation run."""
+
+    host: str = "127.0.0.1"
+    port: int = 7411
+    subscribers: int = 100        #: concurrent subscriber connections
+    publishers: int = 4           #: concurrent publisher connections
+    events: int = 2000            #: total events to publish (pre-sampled)
+    rate: float = 500.0           #: aggregate publish rate (events/second)
+    duration: float | None = None  #: wall-clock cap on the publish phase
+    churn_interval: float = 0.0   #: seconds between churn flaps (0 = off)
+    seed: int = 7                 #: event-stream seed
+    connect_concurrency: int = 64  #: simultaneous connection attempts
+    drain_timeout: float = 10.0   #: wait for in-flight deliveries at the end
+
+    def __post_init__(self) -> None:
+        if self.subscribers < 1:
+            raise ValueError("need at least one subscriber")
+        if self.publishers < 1:
+            raise ValueError("need at least one publisher")
+        if self.events < 1:
+            raise ValueError("need at least one event")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.churn_interval < 0:
+            raise ValueError("churn_interval must be non-negative")
+
+
+@dataclass
+class LoadGenReport:
+    """The measured outcome of one run."""
+
+    subscribers: int
+    events_published: int
+    events_received: int          #: client-side, summed over subscribers
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    latency_mean: float
+    delivery_rate: float          #: server-side enqueued / matched
+    dropped_backpressure: int
+    reoptimizations: int
+    reopt_rejected: int
+    reopt_migrations: int
+    churn_flaps: int
+    wall_seconds: float
+    achieved_rate: float
+    server_stats: dict[str, Any]
+
+    def as_payload(self, config: LoadGenConfig) -> dict[str, Any]:
+        payload = {"benchmark": "serve_latency",
+                   "schema_version": LOADGEN_SCHEMA_VERSION,
+                   "config": asdict(config)}
+        payload.update(asdict(self))
+        return payload
+
+
+async def run_loadgen(distribution: EventDistribution,
+                      config: LoadGenConfig) -> LoadGenReport:
+    """Run the full load generation against a live daemon."""
+    rng = np.random.default_rng(config.seed)
+    points = sample_event_stream(distribution, rng, config.events)
+
+    subscribers = list(range(config.subscribers))
+    gate = asyncio.Semaphore(config.connect_concurrency)
+
+    async def connect_subscriber(j: int) -> ServeClient:
+        async with gate:
+            client = await ServeClient.connect(config.host, config.port)
+            await client.subscribe(j)
+            return client
+
+    clients: list[ServeClient] = list(await asyncio.gather(
+        *(connect_subscriber(j) for j in subscribers)))
+
+    latencies: list[float] = []
+    received = np.zeros(config.subscribers, dtype=np.int64)
+    stop_consuming = asyncio.Event()
+
+    async def consume(j: int, client: ServeClient) -> None:
+        while True:
+            get = asyncio.ensure_future(client.events.get())
+            stopped = asyncio.ensure_future(stop_consuming.wait())
+            done, _ = await asyncio.wait(
+                {get, stopped}, return_when=asyncio.FIRST_COMPLETED)
+            if get not in done:
+                get.cancel()
+                return
+            stopped.cancel()
+            message = get.result()
+            received[j] += 1
+            sent_at = message.get("sentAt")
+            if sent_at is not None:
+                latencies.append(time.monotonic() - float(sent_at))
+
+    consumers = [asyncio.ensure_future(consume(j, c))
+                 for j, c in zip(subscribers, clients)]
+
+    churn_flaps = 0
+    churning = asyncio.Event()
+
+    async def churn() -> None:
+        nonlocal churn_flaps
+        cursor = 0
+        while not churning.is_set():
+            await asyncio.sleep(config.churn_interval)
+            if churning.is_set():
+                return
+            j = subscribers[cursor % len(subscribers)]
+            cursor += 1
+            client = clients[j]
+            try:
+                await client.unsubscribe(j)
+                await client.subscribe(j)
+                churn_flaps += 1
+            except (ServeError, ConnectionResetError):
+                return
+
+    started = time.monotonic()
+    deadline = (started + config.duration
+                if config.duration is not None else None)
+    per_publisher = config.publishers / config.rate
+    published = 0
+
+    async def publish(worker: int, client: ServeClient) -> None:
+        nonlocal published
+        next_at = time.monotonic() + worker * (1.0 / config.rate)
+        for k in range(worker, len(points), config.publishers):
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                return
+            if next_at > now:
+                await asyncio.sleep(next_at - now)
+            next_at += per_publisher
+            await client.publish(points[k], sent_at=time.monotonic(),
+                                 event_id=k)
+            published += 1
+
+    publishers = [await ServeClient.connect(config.host, config.port)
+                  for _ in range(config.publishers)]
+    churn_task = (asyncio.ensure_future(churn())
+                  if config.churn_interval > 0 else None)
+    try:
+        await asyncio.gather(*(publish(w, c)
+                               for w, c in enumerate(publishers)))
+        stats = await _drain(publishers[0], config.drain_timeout)
+    finally:
+        churning.set()
+        if churn_task is not None:
+            churn_task.cancel()
+        stop_consuming.set()
+        await asyncio.gather(*consumers, return_exceptions=True)
+        for client in clients + publishers:
+            await client.close()
+    wall = time.monotonic() - started
+
+    samples = np.asarray(latencies, dtype=float)
+    quantile = (lambda q: float(np.percentile(samples, q))
+                if samples.size else 0.0)
+    return LoadGenReport(
+        subscribers=config.subscribers,
+        events_published=published,
+        events_received=int(received.sum()),
+        latency_p50=quantile(50) if samples.size else 0.0,
+        latency_p95=quantile(95) if samples.size else 0.0,
+        latency_p99=quantile(99) if samples.size else 0.0,
+        latency_max=float(samples.max()) if samples.size else 0.0,
+        latency_mean=float(samples.mean()) if samples.size else 0.0,
+        delivery_rate=float(stats.get("delivery_rate", 0.0)),
+        dropped_backpressure=int(stats.get("dropped_backpressure", 0)),
+        reoptimizations=int(stats.get("reoptimizations", 0)),
+        reopt_rejected=int(stats.get("reopt_rejected", 0)),
+        reopt_migrations=int(stats.get("reopt_migrations", 0)),
+        churn_flaps=churn_flaps,
+        wall_seconds=wall,
+        achieved_rate=published / wall if wall > 0 else 0.0,
+        server_stats=stats)
+
+
+async def _drain(client: ServeClient, timeout: float) -> dict[str, Any]:
+    """Poll stats until the delivered count stops moving (or timeout)."""
+    deadline = time.monotonic() + timeout
+    stats = await client.stats()
+    while time.monotonic() < deadline:
+        await asyncio.sleep(0.1)
+        fresh = await client.stats()
+        if fresh["delivered"] == stats["delivered"]:
+            return fresh
+        stats = fresh
+    return stats
+
+
+def write_loadgen_json(path: str, report: LoadGenReport,
+                       config: LoadGenConfig) -> str:
+    """Write the ``BENCH_serve_*``-style payload (with provenance)."""
+    from ..bench.harness import run_metadata
+    payload = report.as_payload(config)
+    payload["metadata"] = run_metadata()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path

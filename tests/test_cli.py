@@ -111,6 +111,44 @@ class TestCommands:
         assert main(["runtime", *SMALL, "--crash", "99:5"]) == 2
         assert "not a broker" in capsys.readouterr().err
 
+    def test_runtime_max_events_guard(self, capsys):
+        assert main(["runtime", *SMALL, "--events", "300",
+                     "--max-events", "100"]) == 2
+        err = capsys.readouterr().err
+        assert "refusing an unbounded replay" in err
+        # Within the guard the run proceeds normally.
+        assert main(["runtime", *SMALL, "--events", "100",
+                     "--max-events", "100"]) == 0
+
+    def test_runtime_duration_guard_aborts(self, capsys, tmp_path):
+        # 300 events at the default 1s publish spacing cannot drain
+        # inside 2 simulated seconds, so the guard must fire.
+        path = tmp_path / "result.json"
+        assert main(["runtime", *SMALL, "--events", "300",
+                     "--duration", "2.0", "--result-json", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "aborted at simulated time" in captured.err
+        assert "--duration guard" in captured.err
+        import json as json_mod
+
+        payload = json_mod.loads(path.read_text())
+        assert payload["aborted"] is True
+        assert payload["schema_version"] == 1
+        assert set(payload["metadata"]) == {"git_commit", "timestamp_utc",
+                                            "host"}
+
+    def test_runtime_result_json_export(self, capsys, tmp_path):
+        path = tmp_path / "result.json"
+        assert main(["runtime", *SMALL, "--events", "200",
+                     "--result-json", str(path)]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(path.read_text())
+        assert payload["kind"] == "runtime_result"
+        assert payload["aborted"] is False
+        assert payload["delivery_rate"] == 1.0
+        assert sum(payload["deliveries"]) > 0
+
 
 class TestVerifyCommand:
     def test_clean_run_exits_zero(self, capsys):
@@ -217,3 +255,48 @@ class TestProfileCommand:
         captured = capsys.readouterr()
         assert "REGRESSED" in captured.out
         assert "perf regression" in captured.err
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7411
+        assert args.queue_capacity == 1024
+        assert args.reopt_threshold == 64
+        assert args.reopt_poll == 0.25
+        assert args.reopt_algorithm == "SLP1"
+        assert args.run_for is None
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.active == 100
+        assert args.publishers == 4
+        assert args.events == 2000
+        assert args.rate == 500.0
+        assert args.min_delivery_rate == 0.0
+        assert args.min_reopts == 0
+        assert args.json is None
+
+    def test_serve_run_for_smoke(self, capsys):
+        assert main(["serve", *SMALL, "--port", "0",
+                     "--run-for", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "active_subscribers" in out
+
+    def test_loadgen_active_beyond_population_exits_two(self, capsys):
+        assert main(["loadgen", *SMALL, "--active", "151"]) == 2
+        assert "exceeds the population" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_daemon_exits_two(self, capsys):
+        # Nothing listens on a fresh ephemeral port we immediately close.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["loadgen", *SMALL, "--active", "2", "--events", "1",
+                     "--port", str(free_port)]) == 2
+        assert "cannot reach the daemon" in capsys.readouterr().err

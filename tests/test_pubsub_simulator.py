@@ -132,6 +132,29 @@ class TestSimulator:
             assert result.mean_delivery_latency > 0.0
 
 
+class TestJsonExport:
+    def test_to_dict_and_dump(self, rng, tmp_path):
+        import json
+
+        problem = make_problem(rng, m=20)
+        solution = offline_greedy(problem)
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        result = simulate_dissemination(
+            problem.tree, solution.filters, solution.assignment,
+            problem.subscriptions, dist, rng, num_events=200)
+        payload = result.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "simulation_result"
+        assert payload["deliveries"] == result.deliveries.tolist()
+        assert payload["delivery_rate"] == result.delivery_rate
+        path = tmp_path / "sim.json"
+        result.dump(str(path))
+        dumped = json.loads(path.read_text())
+        assert dumped.pop("metadata").keys() == {
+            "git_commit", "timestamp_utc", "host"}
+        assert dumped == json.loads(json.dumps(payload))
+
+
 class TestEmptyInputGuards:
     """Regression tests: the result accessors must not divide by zero."""
 

@@ -147,6 +147,8 @@ class TestValidation:
         {"link_loss": 1.0},
         {"link_loss": -0.2},
         {"trace_events": -1},
+        {"max_duration": 0.0},
+        {"max_duration": -3.0},
     ])
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
@@ -157,6 +159,29 @@ class TestValidation:
         with pytest.raises(ValueError):
             make_engine(tiny_problem, solution).run(
                 DIST, np.random.default_rng(0), num_events=-1)
+
+
+class TestMaxDuration:
+    def test_guard_aborts_and_flags_the_result(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        full = make_engine(tiny_problem, solution).run(
+            DIST, np.random.default_rng(4), num_events=200)
+        assert full.aborted is False
+
+        capped = make_engine(tiny_problem, solution, max_duration=50.0).run(
+            DIST, np.random.default_rng(4), num_events=200)
+        assert capped.aborted is True
+        assert capped.duration <= 50.0
+        assert capped.total_deliveries < full.total_deliveries
+        aborts = capped.telemetry.counter("aborted_max_duration").value
+        assert aborts == 1
+
+    def test_loose_guard_is_a_no_op(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        result = make_engine(tiny_problem, solution,
+                             max_duration=10**9).run(
+            DIST, np.random.default_rng(4), num_events=100)
+        assert result.aborted is False
 
 
 class TestResultAccessors:
@@ -170,6 +195,27 @@ class TestResultAccessors:
         assert result.empirical_bandwidth(100 * 100) == 0.0
         assert result.delivery_rate == 1.0
         assert result.events_per_time() == 0.0
+
+    def test_to_dict_and_dump_round_trip(self, tiny_problem, tmp_path):
+        import json
+
+        solution = offline_greedy(tiny_problem)
+        result = make_engine(tiny_problem, solution).run(
+            DIST, np.random.default_rng(6), num_events=120)
+        payload = result.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "runtime_result"
+        assert payload["num_events"] == 120
+        assert payload["deliveries"] == result.deliveries.tolist()
+        assert payload["telemetry"]["counters"]["deliveries"] == \
+            result.total_deliveries
+        # to_dict is deterministic; the file form adds provenance only.
+        path = tmp_path / "result.json"
+        result.dump(str(path))
+        dumped = json.loads(path.read_text())
+        assert dumped.pop("metadata").keys() == {
+            "git_commit", "timestamp_utc", "host"}
+        assert dumped == json.loads(json.dumps(payload))
 
     def test_trace_spans_recorded_and_closed(self, tiny_problem):
         solution = offline_greedy(tiny_problem)

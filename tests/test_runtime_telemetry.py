@@ -100,11 +100,17 @@ class TestTelemetryRegistry:
         t.span("outage", 1.0, node=2).close(4.0)
 
         payload = json.loads(t.to_json())
+        assert payload["schema_version"] == 1
         assert payload["counters"]["deliveries"] == 3
         assert payload["gauges"]["depth"]["last"] == 2.0
         assert payload["histograms"]["lat"]["count"] == 1
         assert payload["spans"][0]["name"] == "outage"
 
+        # The file form additionally carries the bench-style provenance
+        # block; everything else matches the in-memory export exactly.
         path = tmp_path / "telemetry.json"
         t.dump(str(path))
-        assert json.loads(path.read_text()) == payload
+        dumped = json.loads(path.read_text())
+        metadata = dumped.pop("metadata")
+        assert dumped == payload
+        assert set(metadata) == {"git_commit", "timestamp_utc", "host"}

@@ -1,0 +1,223 @@
+"""Gateway tests: protocol validation, idempotency, connection lifecycle.
+
+Each test spins up a real :class:`ServeDaemon` on an ephemeral loopback
+port and talks to it over TCP — the same path production clients use.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeDaemon, ServeError
+from repro.serve.protocol import (
+    ERR_BAD_JSON,
+    ERR_INVALID,
+    ERR_UNKNOWN_OP,
+    decode_frame,
+    encode_frame,
+    ProtocolError,
+)
+from repro.workloads import GridConfig, generate_grid, one_level_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    workload = generate_grid(3, GridConfig(num_subscribers=60, num_brokers=6))
+    return one_level_problem(workload)
+
+
+def serve_config(**overrides):
+    # Ephemeral port; churn threshold high enough that tests control
+    # re-optimization explicitly.
+    defaults = dict(port=0, reopt_threshold=10**9)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+async def with_daemon(problem, body, **config_overrides):
+    daemon = ServeDaemon(problem, serve_config(**config_overrides))
+    await daemon.start()
+    try:
+        return await body(daemon)
+    finally:
+        await daemon.stop()
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        frame = encode_frame({"op": "ping", "id": 3})
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == {"op": "ping", "id": 3}
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"{nope\n")
+        assert excinfo.value.code == ERR_BAD_JSON
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2]\n")
+
+
+class TestValidation:
+    def test_bad_json_line_gets_error_reply_and_connection_survives(
+            self, problem):
+        async def body(daemon):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            assert reply["ok"] is False
+            assert reply["error"] == ERR_BAD_JSON
+            # The connection still works afterwards.
+            writer.write(encode_frame({"op": "ping", "id": 1}))
+            await writer.drain()
+            pong = json.loads(await reader.readline())
+            assert pong["ok"] and pong["pong"] and pong["id"] == 1
+            writer.close()
+            await writer.wait_closed()
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_unknown_op(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    await client.request("frobnicate")
+                assert excinfo.value.code == ERR_UNKNOWN_OP
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_missing_fields_and_bad_types(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                for op, fields in [("subscribe", {}),
+                                   ("publish", {}),
+                                   ("publish", {"point": "oops"}),
+                                   ("publish", {"point": [1.0],
+                                                "sentAt": "later"}),
+                                   ("subscribe", {"subscriber": "zero"}),
+                                   ("subscribe", {"subscriber": -1}),
+                                   ("subscribe", {"subscriber": 10**6})]:
+                    with pytest.raises(ServeError) as excinfo:
+                        await client.request(op, **fields)
+                    assert excinfo.value.code == ERR_INVALID
+                stats = await client.stats()
+                assert stats["request_errors"] == 7
+                assert stats["active_subscribers"] == 0
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_wrong_point_dimension(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                with pytest.raises(ServeError):
+                    await client.publish([0.5])  # domain is 2-d
+
+        asyncio.run(with_daemon(problem, body))
+
+
+class TestIdempotency:
+    def test_duplicate_key_replays_without_reapplying(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                first = await client.request("subscribe", subscriber=4,
+                                             key="retry-1")
+                second = await client.request("subscribe", subscriber=4,
+                                              key="retry-1")
+                assert second["idempotent_replay"] is True
+                assert second["leaf"] == first["leaf"]
+                stats = await client.stats()
+                assert stats["active_subscribers"] == 1
+                assert stats["subscribes"] == 1
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_duplicate_publish_key_is_not_republished(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                point = [0.5, 0.5]
+                await client.request("publish", point=point, key="pub-1")
+                await client.request("publish", point=point, key="pub-1")
+                stats = await client.stats()
+                assert stats["published"] == 1
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_duplicate_subscribe_without_key_errors(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                await client.subscribe(2)
+                with pytest.raises(ServeError):
+                    await client.subscribe(2)
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_non_string_key_rejected(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    await client.request("subscribe", subscriber=1, key=7)
+                assert excinfo.value.code == ERR_INVALID
+
+        asyncio.run(with_daemon(problem, body))
+
+
+class TestLifecycle:
+    def test_disconnect_auto_unsubscribes(self, problem):
+        async def body(daemon):
+            client = await ServeClient.connect("127.0.0.1", daemon.port)
+            await client.subscribe(0)
+            await client.subscribe(1)
+            await client.close()
+            # The daemon notices the drop and departs both subscribers.
+            for _ in range(50):
+                if daemon.broker.active_count == 0:
+                    break
+                await asyncio.sleep(0.02)
+            assert daemon.broker.active_count == 0
+            assert daemon.broker.unsubscribes == 2
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_unsubscribe_stops_delivery(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                await client.subscribe(0)
+                await client.unsubscribe(0)
+                lo = problem.subscriptions.lo[0]
+                hi = problem.subscriptions.hi[0]
+                inside = (lo + hi) / 2.0
+                summary = await client.publish(inside)
+                assert summary["matched"] == 0
+
+        asyncio.run(with_daemon(problem, body))
+
+    def test_events_are_pushed_to_the_subscribing_connection(self, problem):
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as client:
+                await client.subscribe(0)
+                lo = problem.subscriptions.lo[0]
+                hi = problem.subscriptions.hi[0]
+                inside = ((lo + hi) / 2.0).tolist()
+                summary = await client.publish(inside, sent_at=12.5,
+                                               event_id="e-1")
+                assert summary["delivered"] == 1
+                event = await asyncio.wait_for(client.events.get(), 5.0)
+                assert event["subscriber"] == 0
+                assert event["sentAt"] == 12.5
+                assert event["eventId"] == "e-1"
+                assert event["point"] == pytest.approx(inside)
+
+        asyncio.run(with_daemon(problem, body))

@@ -1,0 +1,107 @@
+"""Load-generator tests: an in-process bench run and its JSON payload."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import UniformEvents
+from repro.serve import (
+    LoadGenConfig,
+    LoadGenReport,
+    ServeConfig,
+    ServeDaemon,
+    run_loadgen,
+    write_loadgen_json,
+)
+from repro.serve.loadgen import LOADGEN_SCHEMA_VERSION
+from repro.workloads import GridConfig, generate_grid, one_level_problem
+
+
+@pytest.fixture(scope="module")
+def case():
+    workload = generate_grid(5, GridConfig(num_subscribers=40, num_brokers=4))
+    problem = one_level_problem(workload)
+    return problem, UniformEvents(workload.event_domain)
+
+
+def run_bench(case, *, serve_overrides=None, **loadgen_overrides):
+    problem, distribution = case
+
+    async def body():
+        serve_kwargs = dict(port=0, reopt_threshold=10**9)
+        serve_kwargs.update(serve_overrides or {})
+        daemon = ServeDaemon(problem, ServeConfig(**serve_kwargs))
+        await daemon.start()
+        try:
+            defaults = dict(port=daemon.port, subscribers=16, publishers=2,
+                            events=200, rate=4000.0, seed=3,
+                            drain_timeout=5.0)
+            defaults.update(loadgen_overrides)
+            config = LoadGenConfig(**defaults)
+            return await run_loadgen(distribution, config), config
+        finally:
+            await daemon.stop()
+
+    return asyncio.run(body())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [dict(subscribers=0),
+                                        dict(publishers=0),
+                                        dict(events=0),
+                                        dict(rate=0.0),
+                                        dict(churn_interval=-1.0)])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadGenConfig(**kwargs)
+
+
+class TestBenchRun:
+    def test_full_run_delivers_everything(self, case):
+        report, _config = run_bench(case)
+        assert isinstance(report, LoadGenReport)
+        assert report.events_published == 200
+        assert report.delivery_rate == 1.0
+        assert report.dropped_backpressure == 0
+        # Every enqueued event crossed the wire back to a client.
+        assert report.events_received == report.server_stats["delivered"]
+        assert report.events_received > 0
+        assert report.latency_p50 > 0.0
+        assert report.latency_p50 <= report.latency_p95 <= report.latency_p99
+        assert report.latency_max >= report.latency_p99
+        assert report.achieved_rate > 0.0
+
+    def test_churn_triggers_live_reoptimization(self, case):
+        report, _config = run_bench(
+            case,
+            serve_overrides=dict(reopt_threshold=4,
+                                 reopt_poll_interval=0.02),
+            events=400, rate=1500.0, churn_interval=0.01)
+        assert report.churn_flaps > 0
+        assert report.reoptimizations >= 1
+        assert report.reopt_rejected == 0
+        # Churned subscribers shed queued events, so the rate may dip a
+        # hair below 1.0, but the service must stay essentially lossless.
+        assert report.delivery_rate >= 0.97
+
+    def test_duration_caps_the_publish_phase(self, case):
+        report, _config = run_bench(case, events=10**6, rate=2000.0,
+                                    duration=0.3)
+        assert report.events_published < 10**6
+        assert report.wall_seconds < 30.0
+
+    def test_json_payload_shape(self, case, tmp_path):
+        report, config = run_bench(case)
+        path = tmp_path / "BENCH_serve_test.json"
+        write_loadgen_json(str(path), report, config)
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "serve_latency"
+        assert payload["schema_version"] == LOADGEN_SCHEMA_VERSION
+        assert payload["config"]["subscribers"] == 16
+        for field in ("latency_p50", "latency_p95", "latency_p99",
+                      "delivery_rate", "reoptimizations", "wall_seconds",
+                      "achieved_rate", "server_stats"):
+            assert field in payload
+        assert set(payload["metadata"]) == {"git_commit", "timestamp_utc",
+                                            "host"}

@@ -1,0 +1,92 @@
+"""Serve-vs-runtime differential oracle.
+
+The correctness anchor of the live service: feeding a seeded workload
+through the TCP gateway (real sockets, real delivery queues) must yield
+*identical* per-subscriber delivery counts to the discrete-event runtime
+run over the same dynamic state and the same event stream.  Any routing
+or matching divergence between the two stacks fails this suite.
+"""
+
+import asyncio
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import DisseminationEngine, RuntimeConfig, UniformEvents
+from repro.pubsub import sample_event_stream
+from repro.serve import ServeClient, ServeConfig, ServeDaemon
+from repro.workloads import GridConfig, generate_grid, one_level_problem
+
+NUM_EVENTS = 250
+NUM_ACTIVE = 24
+
+
+def build_case(seed):
+    workload = generate_grid(seed,
+                             GridConfig(num_subscribers=50, num_brokers=5))
+    problem = one_level_problem(workload)
+    distribution = UniformEvents(workload.event_domain)
+    return problem, distribution
+
+
+async def drive_service(problem, distribution, seed):
+    """Subscribe, publish the seeded stream, and tally wire deliveries."""
+    config = ServeConfig(port=0, seed=seed, reopt_threshold=10**9)
+    daemon = ServeDaemon(problem, config)
+    await daemon.start()
+    try:
+        async with await ServeClient.connect("127.0.0.1",
+                                             daemon.port) as client:
+            # Arrival order drives the online greedy placement; the
+            # engine below replays against the resulting state.
+            for j in range(NUM_ACTIVE):
+                await client.subscribe(j)
+            events = sample_event_stream(distribution,
+                                         np.random.default_rng(seed),
+                                         NUM_EVENTS)
+            for point in events:
+                await client.publish(point.tolist())
+            stats = await client.stats()
+            assert stats["missed"] == 0
+            assert stats["dropped_backpressure"] == 0
+
+            wire_counts = Counter()
+            for _ in range(stats["delivered"]):
+                event = await asyncio.wait_for(client.events.get(), 10.0)
+                wire_counts[event["subscriber"]] += 1
+
+            enqueued = daemon.broker.deliveries.copy()
+            manager = daemon.broker.manager
+            filters = manager.current_filters()
+            assignment = manager.assignment.copy()
+        return enqueued, wire_counts, filters, assignment
+    finally:
+        await daemon.stop()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_service_matches_runtime_exactly(seed):
+    problem, distribution = build_case(seed)
+    enqueued, wire_counts, filters, assignment = asyncio.run(
+        drive_service(problem, distribution, seed))
+
+    engine = DisseminationEngine(
+        problem.tree, filters, assignment, problem.subscriptions,
+        config=RuntimeConfig(),
+        subscriber_points=problem.subscriber_points)
+    result = engine.run(distribution, np.random.default_rng(seed),
+                        num_events=NUM_EVENTS)
+
+    assert np.array_equal(enqueued, result.deliveries)
+    assert result.total_missed == 0
+    # Inactive subscribers never see traffic through either stack.
+    assert enqueued[NUM_ACTIVE:].sum() == 0
+    # The socket tally agrees with the broker's enqueue accounting, so
+    # the equality above covers the full TCP path, not just the core.
+    served = np.zeros_like(enqueued)
+    for j, count in wire_counts.items():
+        served[j] = count
+    assert np.array_equal(served, enqueued)
+    # The oracle is only meaningful if events actually flowed.
+    assert enqueued.sum() > 0
