@@ -1,0 +1,46 @@
+"""Determinism & async-safety static analysis with a ratcheted CI gate.
+
+An AST-based rule engine tuned to this codebase's correctness story:
+
+* **determinism rules** (DET0xx) over the result-bearing packages —
+  unseeded RNGs, global RNG state, wall-clock reads, hash-salted set
+  iteration, float equality in invariant code;
+* **async-safety rules** (ASY0xx) over :mod:`repro.serve` — un-awaited
+  coroutines, untracked tasks, blocking calls on the event loop, and
+  shared-state writes straddling an ``await``;
+* **contract rules** (CON0xx) — fully annotated public APIs in the
+  mypy-strict packages, no bare or silent exception handlers.
+
+``python -m repro analyze`` runs the engine; ``--check-against
+analyze_baseline.json`` enforces the ratchet (violations may only
+decrease) and exits 2 on regression.  Intentional exceptions carry an
+inline ``# analyze: allow[RULE] reason`` pragma, so every waiver is
+visible at the offending line.  See DESIGN.md section 8.
+"""
+
+from .baseline import RatchetResult, check_ratchet, load_baseline, write_baseline
+from .engine import (
+    ALL_RULES,
+    ANALYZE_SCHEMA_VERSION,
+    AnalysisReport,
+    analyze_module,
+    default_rules,
+    run_analysis,
+)
+from .model import Rule, SourceModule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "ANALYZE_SCHEMA_VERSION",
+    "AnalysisReport",
+    "RatchetResult",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "analyze_module",
+    "check_ratchet",
+    "default_rules",
+    "load_baseline",
+    "run_analysis",
+    "write_baseline",
+]

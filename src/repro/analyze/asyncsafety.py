@@ -1,0 +1,316 @@
+"""Async-safety rules (ASY0xx) for the live service layer.
+
+The :mod:`repro.serve` daemon multiplexes every connection, pump task,
+and the background reoptimizer on one event loop.  That model is only
+safe under two disciplines these rules enforce at the source level:
+nothing blocks the loop, and shared state is never left half-updated
+across a suspension point.
+
+``ASY001``  un-awaited coroutine call — a bare ``foo()`` statement where
+            ``foo`` is a coroutine function creates a coroutine object
+            that never runs.
+``ASY002``  untracked task — ``asyncio.create_task(...)`` whose result
+            is discarded can be garbage-collected mid-flight; retain a
+            reference.
+``ASY003``  blocking call in ``async def`` — ``time.sleep``, file I/O,
+            subprocess or LP solves freeze every connection; offload
+            with ``asyncio.to_thread``.
+``ASY004``  shared-state write straddling ``await`` — an attribute read
+            before a suspension point and written after it is a lost-
+            update race with every other task; hold a lock or restructure
+            to a single-assignment snapshot swap.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import Rule, SourceModule, Violation, dotted_name, import_aliases
+
+__all__ = ["UnawaitedCoroutineRule", "UntrackedTaskRule",
+           "BlockingCallRule", "AwaitStraddleRule", "ASYNC_PACKAGES"]
+
+#: Packages holding asyncio code these rules apply to.
+ASYNC_PACKAGES = frozenset({"serve"})
+
+#: Well-known coroutine functions outside the scanned module.
+_KNOWN_COROUTINES = {
+    "asyncio.sleep", "asyncio.wait", "asyncio.wait_for", "asyncio.gather",
+    "asyncio.to_thread", "asyncio.open_connection", "asyncio.start_server",
+}
+
+#: Task-spawning calls whose return value must be retained (matched on
+#: the final attribute so ``loop.create_task`` is covered too).
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+#: Calls that block the event loop.  LP solves are listed explicitly:
+#: this codebase's re-optimizations run HiGHS for tens of milliseconds
+#: to seconds, which must go through ``asyncio.to_thread``.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen",
+    "socket.create_connection",
+    "scipy.optimize.linprog",
+}
+#: Bare names (builtins / solver entry points) that block when called
+#: directly inside ``async def``.
+_BLOCKING_NAMES = {"open", "input", "linprog", "lp_solve", "solve_lp"}
+
+
+def _module_async_defs(tree: ast.Module) -> set[str]:
+    """Names of module-level ``async def`` functions."""
+    return {node.name for node in tree.body
+            if isinstance(node, ast.AsyncFunctionDef)}
+
+
+def _class_async_methods(cls: ast.ClassDef) -> set[str]:
+    """Names of ``async def`` methods defined directly on ``cls``."""
+    return {node.name for node in cls.body
+            if isinstance(node, ast.AsyncFunctionDef)}
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    """The final name segment of the callee (``self.foo()`` -> ``foo``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class UnawaitedCoroutineRule(Rule):
+    rule_id = "ASY001"
+    title = "unawaited-coroutine"
+    rationale = ("a coroutine called without await never executes; the "
+                 "statement silently does nothing")
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        aliases = import_aliases(module.tree)
+        module_async = _module_async_defs(module.tree)
+        found = []
+        # Only bare expression statements are flagged: a call whose value
+        # is awaited, assigned, passed on, or returned is someone else's
+        # responsibility, and gather(*coros) arguments are legitimate.
+        # Receiver-aware matching: ``foo()`` matches module-level async
+        # defs, ``self.foo()`` matches async methods of the *enclosing*
+        # class — ``other.foo()`` is never assumed to be a coroutine just
+        # because some class here has an async ``foo``.
+        for stmt in ast.walk(module.tree):
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            call = stmt.value
+            name = dotted_name(call.func, aliases)
+            if name in _KNOWN_COROUTINES or (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id in module_async):
+                found.append(self.violation(
+                    module, call,
+                    f"coroutine {_call_tail(call) or name}() called "
+                    f"without await; the call never runs"))
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            class_async = _class_async_methods(cls)
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                for stmt in ast.walk(method):
+                    if not (isinstance(stmt, ast.Expr)
+                            and isinstance(stmt.value, ast.Call)):
+                        continue
+                    call = stmt.value
+                    if isinstance(call.func, ast.Attribute) \
+                            and isinstance(call.func.value, ast.Name) \
+                            and call.func.value.id == "self" \
+                            and call.func.attr in class_async:
+                        found.append(self.violation(
+                            module, call,
+                            f"coroutine self.{call.func.attr}() called "
+                            f"without await; the call never runs"))
+        return found
+
+
+class UntrackedTaskRule(Rule):
+    rule_id = "ASY002"
+    title = "untracked-task"
+    rationale = ("a task without a retained reference may be garbage-"
+                 "collected before it completes; keep the handle")
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        found = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call) \
+                    and _call_tail(node.value) in _TASK_SPAWNERS:
+                found.append(self.violation(
+                    module, node.value,
+                    f"{_call_tail(node.value)}() result discarded; retain "
+                    f"the task reference (store it or await it)"))
+        return found
+
+
+class BlockingCallRule(Rule):
+    rule_id = "ASY003"
+    title = "blocking-in-async"
+    rationale = ("synchronous sleeps, file I/O, subprocesses and LP solves "
+                 "inside async def stall every task on the loop; use "
+                 "asyncio primitives or asyncio.to_thread")
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        aliases = import_aliases(module.tree)
+        found = []
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_async_body(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func, aliases)
+                bare = (isinstance(node.func, ast.Name)
+                        and node.func.id in _BLOCKING_NAMES)
+                if name in _BLOCKING_CALLS or bare:
+                    label = name or node.func.id  # type: ignore[union-attr]
+                    found.append(self.violation(
+                        module, node,
+                        f"blocking call {label}() inside async def "
+                        f"{fn.name}; offload with asyncio.to_thread"))
+        return found
+
+
+def _walk_async_body(fn: ast.AsyncFunctionDef) -> list[ast.AST]:
+    """Walk an async function without entering nested sync functions.
+
+    Nested ``def``/``lambda`` bodies execute wherever they are later
+    called (often a worker thread), so blocking calls there are not the
+    event loop's problem.
+    """
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(reversed(fn.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    return out
+
+
+class AwaitStraddleRule(Rule):
+    rule_id = "ASY004"
+    title = "await-straddling-write"
+    rationale = ("reading shared state, awaiting, then writing it back is "
+                 "a lost-update race with every other task; guard with a "
+                 "lock or snapshot-swap in one step")
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        found = []
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, ast.AsyncFunctionDef):
+                found.extend(self._check_function(module, fn))
+        return found
+
+    def _check_function(self, module: SourceModule,
+                        fn: ast.AsyncFunctionDef) -> list[Violation]:
+        # Linearize the body into (kind, attr-path, node, locked) events in
+        # source order: "await" markers, and reads/writes of self.* paths.
+        events: list[tuple[str, str | None, ast.AST, bool]] = []
+        self._collect(fn.body, events, locked=False)
+
+        # The hazard is check-then-set: a READ of shared state, an await
+        # (anyone may run), then a write that clobbers whatever happened
+        # meanwhile.  Atomic read-modify-writes (``self.x += 1``) emit
+        # adjacent read+write events, so no await fits between and they
+        # never fire; writes after writes are last-write-wins, not races.
+        found = []
+        last_read: dict[str, int] = {}
+        await_indices: list[int] = []
+        for idx, (kind, attr, node, locked) in enumerate(events):
+            if kind == "await":
+                await_indices.append(idx)
+                continue
+            assert attr is not None
+            if kind == "write" and not locked:
+                read_at = last_read.get(attr)
+                if read_at is not None and any(read_at < a < idx
+                                               for a in await_indices):
+                    found.append(self.violation(
+                        module, node,
+                        f"{attr} written after an await that follows an "
+                        f"earlier read in async def {fn.name}; the "
+                        f"read-await-write window loses concurrent updates"))
+            if kind == "read":
+                last_read[attr] = idx
+        return found
+
+    def _collect(self, body: list[ast.stmt],
+                 events: list[tuple[str, str | None, ast.AST, bool]],
+                 locked: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # separate execution context
+            if isinstance(stmt, ast.AsyncWith):
+                # async with acquires a lock (or another async context
+                # manager) — treat everything under it as guarded.
+                for item in stmt.items:
+                    self._collect_expr(item.context_expr, events, locked)
+                self._collect(stmt.body, events, locked=True)
+                continue
+            if isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor,
+                                 ast.With, ast.Try)):
+                for node in ast.iter_child_nodes(stmt):
+                    if isinstance(node, ast.expr):
+                        self._collect_expr(node, events, locked)
+                for attr in ("body", "orelse", "finalbody"):
+                    self._collect(getattr(stmt, attr, []) or [], events,
+                                  locked)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    self._collect(handler.body, events, locked)
+                continue
+            self._collect_expr(stmt, events, locked)
+
+    def _collect_expr(self, node: ast.AST,
+                      events: list[tuple[str, str | None, ast.AST, bool]],
+                      locked: bool) -> None:
+        # Assignments evaluate their value (which may await) before the
+        # store, so visit in that order; elsewhere the walk order is an
+        # approximation of evaluation order, which is close enough for a
+        # statement-granular heuristic.
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)) \
+                and node.value is not None:
+            self._collect_expr(node.value, events, locked)
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                self._collect_expr(target, events, locked)
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Await):
+                events.append(("await", None, sub, locked))
+            elif isinstance(sub, ast.Attribute):
+                path = _self_path(sub)
+                if path is None:
+                    continue
+                kind = ("write" if isinstance(sub.ctx, (ast.Store, ast.Del))
+                        else "read")
+                events.append((kind, path, sub, locked))
+
+
+def _self_path(node: ast.Attribute) -> str | None:
+    """Dotted path of a ``self.x[.y]`` attribute chain, else ``None``."""
+    parts = [node.attr]
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if isinstance(value, ast.Name) and value.id == "self":
+        parts.append("self")
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,100 @@
+"""The ratchet: a committed baseline that violation counts may only cut.
+
+``analyze_baseline.json`` freezes the per-``file::rule`` violation
+counts at the moment it was written.  The CI gate compares a fresh run
+against it:
+
+* any bucket **above** its baseline count (or any new bucket) is a
+  regression — exit 2;
+* buckets **below** their baseline count are improvements — the run
+  stays green, and the report nudges toward re-writing the baseline so
+  the gains lock in (the ratchet clicks one tooth tighter);
+* a baseline bucket whose file has since disappeared counts as an
+  improvement, not an error.
+
+This mirrors the perf-regression gate's philosophy (compare against a
+committed artifact, exit non-zero on drift) applied to static hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench.harness import run_metadata
+from .engine import ANALYZE_SCHEMA_VERSION, AnalysisReport
+
+__all__ = ["RatchetResult", "load_baseline", "write_baseline",
+           "check_ratchet"]
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of comparing a run against the committed baseline."""
+
+    regressions: list[str] = field(default_factory=list)   #: human lines
+    improvements: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = []
+        if self.regressions:
+            lines.append("ratchet REGRESSIONS (new or increased violations):")
+            lines.extend(f"  {line}" for line in self.regressions)
+        if self.improvements:
+            lines.append("ratchet improvements (re-write the baseline to "
+                         "lock these in):")
+            lines.extend(f"  {line}" for line in self.improvements)
+        if not lines:
+            lines.append("ratchet clean: violation counts match the baseline")
+        return "\n".join(lines)
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """The committed ``file::rule`` counts; validates the schema version."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = payload.get("schema_version")
+    if version != ANALYZE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version {version!r}; this analyzer "
+            f"writes {ANALYZE_SCHEMA_VERSION} — regenerate with "
+            f"--write-baseline")
+    counts = payload.get("counts")
+    if not isinstance(counts, dict):
+        raise ValueError(f"baseline {path} has no counts mapping")
+    return {str(key): int(value) for key, value in counts.items()}
+
+
+def write_baseline(path: Path | str, report: AnalysisReport) -> dict[str, object]:
+    """Freeze the report's counts as the new committed baseline."""
+    payload = {
+        "schema_version": ANALYZE_SCHEMA_VERSION,
+        "tool": "repro.analyze",
+        "counts": report.counts(),
+        "total": len(report.violations),
+        "metadata": run_metadata(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def check_ratchet(report: AnalysisReport,
+                  baseline: dict[str, int]) -> RatchetResult:
+    """Compare a fresh run's counts against the committed baseline."""
+    current = report.counts()
+    result = RatchetResult()
+    for key in sorted(set(current) | set(baseline)):
+        now = current.get(key, 0)
+        then = baseline.get(key, 0)
+        if now > then:
+            result.regressions.append(f"{key}: {then} -> {now}")
+        elif now < then:
+            result.improvements.append(f"{key}: {then} -> {now}")
+    return result

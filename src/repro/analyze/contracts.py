@@ -1,0 +1,121 @@
+"""Contract rules (CON0xx): typed public APIs, honest error handling.
+
+``CON001``  missing annotations — public functions in the contract
+            packages (``core``, ``verify``, ``geometry``, ``flow``) must
+            annotate every parameter and the return type, so mypy can
+            hold callers to the same contract the docstrings promise.
+``CON002``  bare ``except:`` — catches ``SystemExit`` and
+            ``KeyboardInterrupt`` and hides the exception type from the
+            reader; name what you expect.
+``CON003``  silent broad handler — ``except Exception: pass`` swallows
+            every failure with no trace; either narrow the type, log, or
+            re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import Rule, SourceModule, Violation
+
+__all__ = ["MissingAnnotationsRule", "BareExceptRule", "SilentHandlerRule",
+           "CONTRACT_PACKAGES"]
+
+#: Packages whose public API must be fully annotated (the mypy-strict
+#: targets plus the verifier, whose reports gate live re-optimization).
+CONTRACT_PACKAGES = frozenset({"core", "verify", "geometry", "flow"})
+
+
+def _public_functions(tree: ast.Module) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Public module-level functions and public methods of public classes."""
+    out: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                out.append(node)
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and not item.name.startswith("_"):
+                    out.append(item)
+    return out
+
+
+class MissingAnnotationsRule(Rule):
+    rule_id = "CON001"
+    title = "missing-annotations"
+    rationale = ("unannotated public functions leave the API contract "
+                 "implicit and blind mypy to caller mistakes")
+    packages = CONTRACT_PACKAGES
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        found = []
+        for fn in _public_functions(module.tree):
+            missing = self._missing_parts(fn)
+            if missing:
+                found.append(self.violation(
+                    module, fn,
+                    f"public function {fn.name} missing annotations: "
+                    f"{', '.join(missing)}"))
+        return found
+
+    @staticmethod
+    def _missing_parts(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        missing = []
+        args = fn.args
+        params = list(args.posonlyargs) + list(args.args) \
+            + list(args.kwonlyargs)
+        for index, arg in enumerate(params):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if fn.returns is None:
+            missing.append("return")
+        return missing
+
+
+class BareExceptRule(Rule):
+    rule_id = "CON002"
+    title = "bare-except"
+    rationale = ("bare except catches SystemExit/KeyboardInterrupt and "
+                 "hides the failure mode; name the exception type")
+    packages = None  # everywhere
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        return [self.violation(module, node,
+                               "bare except:; name the exception type")
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.ExceptHandler) and node.type is None]
+
+
+class SilentHandlerRule(Rule):
+    rule_id = "CON003"
+    title = "silent-handler"
+    rationale = ("except Exception: pass swallows every failure without "
+                 "a trace; narrow the type, log, or re-raise")
+    packages = None  # everywhere
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        found = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not (len(node.body) == 1 and isinstance(node.body[0], ast.Pass)):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name) and node.type.id in self._BROAD)
+            if broad:
+                label = (node.type.id if isinstance(node.type, ast.Name)
+                         else "bare")
+                found.append(self.violation(
+                    module, node,
+                    f"silent {label} except handler (body is just pass); "
+                    f"narrow the type, log, or re-raise"))
+        return found

@@ -1,0 +1,185 @@
+"""The analysis engine: file discovery, rule dispatch, report payload.
+
+``run_analysis`` walks a source root (``src/repro`` by default), parses
+every ``*.py`` file once, applies each registered rule to the modules in
+its package scope, filters waived findings through the inline
+``# analyze: allow[RULE]`` pragma, and returns an :class:`AnalysisReport`
+whose JSON payload carries the same ``schema_version`` + git/host
+provenance block as the bench payloads — analyzer runs are comparable
+artifacts, exactly like perf numbers.
+
+The committed ratchet baseline (see :mod:`repro.analyze.baseline`) is
+keyed on the report's per-``file::rule`` violation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench.harness import run_metadata
+from .asyncsafety import (
+    AwaitStraddleRule,
+    BlockingCallRule,
+    UnawaitedCoroutineRule,
+    UntrackedTaskRule,
+)
+from .contracts import BareExceptRule, MissingAnnotationsRule, SilentHandlerRule
+from .determinism import (
+    FloatEqualityRule,
+    GlobalRngRule,
+    SetOrderRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from .model import Rule, SourceModule, Violation
+
+__all__ = ["ANALYZE_SCHEMA_VERSION", "ALL_RULES", "AnalysisReport",
+           "default_rules", "analyze_module", "run_analysis"]
+
+#: Version of the analyzer report payload layout.
+ANALYZE_SCHEMA_VERSION = 1
+
+#: Every registered rule class, in catalog order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRngRule, GlobalRngRule, WallClockRule, SetOrderRule,
+    FloatEqualityRule,
+    UnawaitedCoroutineRule, UntrackedTaskRule, BlockingCallRule,
+    AwaitStraddleRule,
+    MissingAnnotationsRule, BareExceptRule, SilentHandlerRule,
+)
+
+
+def default_rules(selected: list[str] | None = None) -> list[Rule]:
+    """Instantiate the rule catalog, optionally filtered by id prefix.
+
+    ``selected`` entries match whole ids (``DET004``) or families
+    (``DET``); unknown selectors raise so CI typos fail loudly.
+    """
+    rules = [cls() for cls in ALL_RULES]
+    if selected is None:
+        return rules
+    known = {r.rule_id for r in rules} | {r.rule_id[:3] for r in rules}
+    unknown = [s for s in selected if s not in known]
+    if unknown:
+        raise ValueError(f"unknown rule selector(s) {unknown}; "
+                         f"known: {sorted(known)}")
+    return [r for r in rules
+            if r.rule_id in selected or r.rule_id[:3] in selected]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    root: str
+    files_scanned: int
+    violations: list[Violation]
+    allowlisted: list[Violation]
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def counts(self) -> dict[str, int]:
+        """Violations per ``file::rule`` — the ratchet currency."""
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.ratchet_key] = out.get(violation.ratchet_key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def as_payload(self, rules: list[Rule]) -> dict[str, object]:
+        """The JSON report, schema-versioned and provenance-stamped."""
+        return {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
+            "tool": "repro.analyze",
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "total_violations": len(self.violations),
+            "total_allowlisted": len(self.allowlisted),
+            "counts": self.counts(),
+            "by_rule": self.by_rule(),
+            "violations": [v.as_dict() for v in sorted(
+                self.violations, key=lambda v: (v.path, v.line, v.rule))],
+            "allowlisted": [v.as_dict() for v in sorted(
+                self.allowlisted, key=lambda v: (v.path, v.line, v.rule))],
+            "parse_errors": list(self.parse_errors),
+            "rule_catalog": [
+                {"id": r.rule_id, "title": r.title,
+                 "packages": (sorted(r.packages) if r.packages is not None
+                              else "all"),
+                 "rationale": r.rationale}
+                for r in rules],
+            "metadata": run_metadata(),
+        }
+
+
+def analyze_module(module: SourceModule,
+                   rules: list[Rule]) -> tuple[list[Violation], list[Violation]]:
+    """Apply the in-scope rules to one module; split out pragma waivers."""
+    kept: list[Violation] = []
+    waived: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for violation in rule.check(module):
+            allowed = module.allowed_rules(violation.line)
+            if violation.rule in allowed or "*" in allowed:
+                waived.append(violation)
+            else:
+                kept.append(violation)
+    return kept, waived
+
+
+def discover(root: Path) -> list[tuple[Path, str, str]]:
+    """``(path, relpath, package)`` for every source file under ``root``.
+
+    ``relpath`` is rooted at the scanned package directory (e.g.
+    ``repro/core/problem.py``) so baseline keys are stable no matter
+    where the checkout lives or what the CWD is.
+    """
+    root = root.resolve()
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        relpath = (Path(root.name) / rel).as_posix()
+        package = rel.parts[0] if len(rel.parts) > 1 else ""
+        entries.append((path, relpath, package))
+    return entries
+
+
+def run_analysis(root: Path | str | None = None,
+                 rules: list[Rule] | None = None) -> AnalysisReport:
+    """Analyze every module under ``root`` with the given rules."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"analysis root {root} is not a directory")
+    if rules is None:
+        rules = default_rules()
+
+    violations: list[Violation] = []
+    allowlisted: list[Violation] = []
+    parse_errors: list[str] = []
+    entries = discover(root)
+    for path, relpath, package in entries:
+        try:
+            module = SourceModule.parse(path, relpath, package)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            parse_errors.append(f"{relpath}: {exc}")
+            continue
+        kept, waived = analyze_module(module, rules)
+        violations.extend(kept)
+        allowlisted.extend(waived)
+
+    return AnalysisReport(root=str(root), files_scanned=len(entries),
+                          violations=violations, allowlisted=allowlisted,
+                          parse_errors=parse_errors)

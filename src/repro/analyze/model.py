@@ -1,0 +1,167 @@
+"""Data model of the static analyzer: modules, rules, violations.
+
+A :class:`SourceModule` is one parsed file plus everything a rule needs
+to inspect it (the AST, the raw source lines for pragma lookup, and the
+package it belongs to, which scopes rule applicability).  A
+:class:`Rule` turns a module into :class:`Violation` records; the engine
+in :mod:`repro.analyze.engine` owns file discovery, scoping, and the
+pragma allowlist.
+
+Violations are identified by ``(rule, file, line)`` and aggregated into
+``file::rule`` ratchet keys — the unit the committed baseline counts and
+the CI gate compares (see :mod:`repro.analyze.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Violation", "SourceModule", "Rule", "PRAGMA_RE",
+           "import_aliases", "dotted_name"]
+
+#: Inline waiver: ``# analyze: allow[DET003] provenance timestamps are
+#: wall-clock by design``.  ``allow[*]`` waives every rule on the line.
+#: The pragma is honoured on the flagged line or the line directly above,
+#: so multi-line statements can carry the waiver next to the reason.
+PRAGMA_RE = re.compile(r"#\s*analyze:\s*allow\[([A-Z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str          #: rule id, e.g. ``DET001``
+    path: str          #: path relative to the scanned root's parent
+    line: int          #: 1-indexed source line
+    col: int           #: 0-indexed column
+    message: str       #: human-readable description of the hazard
+
+    @property
+    def ratchet_key(self) -> str:
+        """The ``file::rule`` bucket the baseline counts."""
+        return f"{self.path}::{self.rule}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, ready for rule inspection."""
+
+    path: Path              #: absolute path on disk
+    relpath: str            #: path relative to the scan root's parent
+    package: str            #: first package segment under the root ("" = root)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str, package: str) -> "SourceModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, relpath=relpath, package=package,
+                   source=source, lines=source.splitlines(), tree=tree)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str = "snippet.py",
+                    package: str = "") -> "SourceModule":
+        """Parse from a string — the unit-test entry point."""
+        tree = ast.parse(source, filename=relpath)
+        return cls(path=Path(relpath), relpath=relpath, package=package,
+                   source=source, lines=source.splitlines(), tree=tree)
+
+    def allowed_rules(self, line: int) -> set[str]:
+        """Rules waived by an ``analyze: allow[...]`` pragma at ``line``.
+
+        Looks at the flagged line and the one above it.
+        """
+        waived: set[str] = set()
+        for idx in (line - 1, line - 2):  # 0-indexed: same line, line above
+            if 0 <= idx < len(self.lines):
+                match = PRAGMA_RE.search(self.lines[idx])
+                if match:
+                    waived.update(part.strip()
+                                  for part in match.group(1).split(","))
+        return waived
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted names they import.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from datetime
+    import datetime`` yields ``{"datetime": "datetime.datetime"}``.  The
+    map lets rules match calls like ``np.random.rand()`` against
+    canonical patterns (``numpy.random.rand``) regardless of how the
+    module spells its imports.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = \
+                    f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: dict[str, str] | None = None) -> str | None:
+    """The canonical dotted name of a Name/Attribute chain, or ``None``.
+
+    ``np.random.default_rng`` resolves through the module's import
+    aliases to ``numpy.random.default_rng``; non-name expressions (calls,
+    subscripts) yield ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if aliases and root in aliases:
+        root = aliases[root]
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for one analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``packages`` scopes applicability: ``None`` applies everywhere,
+    otherwise only to modules whose first package segment is listed.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    packages: frozenset[str] | None = None
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return self.packages is None or module.package in self.packages
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: SourceModule, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(rule=self.rule_id, path=module.relpath,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         message=message)

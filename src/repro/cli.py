@@ -50,6 +50,13 @@ Commands
     percentiles and delivery rate (optionally as a ``BENCH_serve_*``
     JSON payload).
 
+``analyze``
+    Run the determinism / async-safety / contract static analysis over
+    the source tree (see :mod:`repro.analyze`).  Prints the violation
+    table and exits 2 on any violation; with ``--check-against
+    analyze_baseline.json`` enforces the ratchet instead (counts may
+    only decrease), and ``--write-baseline`` freezes the current counts.
+
 ``algorithms``
     List the registered algorithm names.
 """
@@ -65,6 +72,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .analyze import (
+    check_ratchet,
+    default_rules,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
 from .bench.harness import run_metadata
 from .bench.tables import format_table
 from .core.registry import algorithm_names, get_algorithm
@@ -542,6 +556,57 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    try:
+        rules = default_rules(args.rules)
+        report = run_analysis(args.root, rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    counts = report.by_rule()
+    catalog_rows = [[rule.rule_id, rule.title,
+                     ("all" if rule.packages is None
+                      else "+".join(sorted(rule.packages))),
+                     counts.get(rule.rule_id, 0)] for rule in rules]
+    print(f"analyzed {report.files_scanned} files under {report.root}")
+    print(format_table(["rule", "title", "scope", "violations"],
+                       catalog_rows))
+    for violation in sorted(report.violations,
+                            key=lambda v: (v.path, v.line, v.rule)):
+        print(violation, file=sys.stderr)
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    if report.allowlisted:
+        print(f"{len(report.allowlisted)} finding(s) waived by inline "
+              f"'analyze: allow' pragmas")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_payload(rules), fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+
+    if args.write_baseline:
+        payload = write_baseline(args.write_baseline, report)
+        print(f"baseline with {payload['total']} violation(s) written to "
+              f"{args.write_baseline}")
+        return 0
+
+    if report.parse_errors:
+        return 2
+    if args.check_against:
+        try:
+            baseline = load_baseline(args.check_against)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        ratchet = check_ratchet(report, baseline)
+        print(ratchet.summary())
+        return 0 if ratchet.ok else 2
+    return 2 if report.violations else 0
+
+
 def _command_algorithms(_args: argparse.Namespace) -> int:
     for name in algorithm_names():
         print(name)
@@ -697,6 +762,25 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", default=None, metavar="PATH",
                          help="write the BENCH_serve payload here")
     loadgen.set_defaults(handler=_command_loadgen)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="determinism / async-safety / contract static analysis")
+    analyze.add_argument("--root", default=None, metavar="DIR",
+                         help="source root to scan (default: the installed "
+                              "repro package)")
+    analyze.add_argument("--rules", nargs="+", default=None,
+                         metavar="RULE",
+                         help="rule ids or families to run, e.g. DET ASY "
+                              "CON001 (default: all)")
+    analyze.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full report payload as JSON")
+    analyze.add_argument("--check-against", default=None, metavar="BASELINE",
+                         help="ratchet gate: exit 2 when any file::rule "
+                              "count exceeds this committed baseline")
+    analyze.add_argument("--write-baseline", default=None, metavar="PATH",
+                         help="freeze the current counts as the baseline")
+    analyze.set_defaults(handler=_command_analyze)
 
     algorithms = subparsers.add_parser("algorithms",
                                        help="list algorithm names")

@@ -42,7 +42,7 @@ __all__ = ["online_greedy", "offline_greedy"]
 class _TreeFilterState:
     """Incremental <= alpha rectangles per tree node, arrays-of-slots."""
 
-    def __init__(self, problem: SAProblem):
+    def __init__(self, problem: SAProblem) -> None:
         tree = problem.tree
         alpha = problem.params.alpha
         dim = problem.event_dim

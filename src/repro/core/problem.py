@@ -68,7 +68,7 @@ class SAProblem:
                  subscriptions: RectSet,
                  params: SAParameters | None = None,
                  kappas: np.ndarray | None = None,
-                 latency_budgets: np.ndarray | None = None):
+                 latency_budgets: np.ndarray | None = None) -> None:
         points = np.ascontiguousarray(subscriber_points, dtype=float)
         if points.ndim != 2:
             raise ValueError("subscriber_points must have shape (m, d)")

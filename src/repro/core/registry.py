@@ -8,6 +8,7 @@ Closest-no-balance (Closest¬b), Balance, SLP1, SLP.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 from .baselines import balance_assignment, closest_broker
 from .greedy import offline_greedy, online_greedy
@@ -19,23 +20,23 @@ __all__ = ["ALGORITHMS", "get_algorithm", "algorithm_names"]
 AlgorithmFn = Callable[..., SASolution]
 
 
-def _gr(problem: SAProblem, **kwargs) -> SASolution:
+def _gr(problem: SAProblem, **kwargs: Any) -> SASolution:
     return online_greedy(problem, **kwargs)
 
 
-def _gr_no_latency(problem: SAProblem, **kwargs) -> SASolution:
+def _gr_no_latency(problem: SAProblem, **kwargs: Any) -> SASolution:
     return online_greedy(problem, respect_latency=False, **kwargs)
 
 
-def _gr_star(problem: SAProblem, **kwargs) -> SASolution:
+def _gr_star(problem: SAProblem, **kwargs: Any) -> SASolution:
     return offline_greedy(problem, **kwargs)
 
 
-def _closest(problem: SAProblem, **kwargs) -> SASolution:
+def _closest(problem: SAProblem, **kwargs: Any) -> SASolution:
     return closest_broker(problem, enforce_load_cap=True, **kwargs)
 
 
-def _closest_no_balance(problem: SAProblem, **kwargs) -> SASolution:
+def _closest_no_balance(problem: SAProblem, **kwargs: Any) -> SASolution:
     return closest_broker(problem, enforce_load_cap=False, **kwargs)
 
 

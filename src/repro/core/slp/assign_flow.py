@@ -67,7 +67,7 @@ class _SlotState:
     greedy algorithms use, here restricted to the LP's coverage edges.
     """
 
-    def __init__(self, num_targets: int, alpha: int, dim: int):
+    def __init__(self, num_targets: int, alpha: int, dim: int) -> None:
         self.alpha = alpha
         self.lo = np.full((num_targets, alpha, dim), np.inf)
         self.hi = np.full((num_targets, alpha, dim), -np.inf)
@@ -147,7 +147,7 @@ class _CovererCSR:
 
     __slots__ = ("flat", "starts", "counts", "_used")
 
-    def __init__(self, coverers: list[np.ndarray], spare: int = 0):
+    def __init__(self, coverers: list[np.ndarray], spare: int = 0) -> None:
         counts = np.fromiter((len(c) for c in coverers), dtype=np.int64,
                              count=len(coverers))
         total = int(counts.sum())

@@ -46,7 +46,7 @@ class FilterGenConfig:
                  eta: float = 0.5,
                  max_length_classes: int = 24,
                  max_candidates: int = 2000,
-                 interval_dedupe_tol: float = 1e-9):
+                 interval_dedupe_tol: float = 1e-9) -> None:
         if not (0.5 <= eta < 1.0):
             raise ValueError("eta must be in [1/2, 1)")
         if super_subscription_factor < 1:

@@ -23,7 +23,7 @@ _INF = float("inf")
 class Dinic:
     """A max-flow solver over a mutable residual network."""
 
-    def __init__(self, num_nodes: int):
+    def __init__(self, num_nodes: int) -> None:
         if num_nodes < 2:
             raise ValueError("a flow network needs at least two nodes")
         self.num_nodes = num_nodes

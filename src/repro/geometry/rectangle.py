@@ -41,7 +41,7 @@ class Rect:
 
     __slots__ = ("_lo", "_hi")
 
-    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray):
+    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray) -> None:
         lo_arr = _as_coords(lo)
         hi_arr = _as_coords(hi)
         if lo_arr.shape != hi_arr.shape:
@@ -159,7 +159,7 @@ class RectSet:
 
     __slots__ = ("_lo", "_hi", "_content_key")
 
-    def __init__(self, lo: np.ndarray, hi: np.ndarray, *, validate: bool = True):
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, *, validate: bool = True) -> None:
         lo_arr = np.ascontiguousarray(lo, dtype=float)
         hi_arr = np.ascontiguousarray(hi, dtype=float)
         if lo_arr.ndim != 2 or lo_arr.shape != hi_arr.shape:

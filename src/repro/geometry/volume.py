@@ -15,6 +15,8 @@ sampling inside the enclosing box.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from .rectangle import Rect, RectSet
@@ -102,7 +104,9 @@ def union_volume(rects: RectSet) -> float:
     return _covered_mass(axes, covered, cell_lengths)
 
 
-def union_measure(rects: RectSet, interval_measure) -> float:
+def union_measure(rects: RectSet,
+                  interval_measure: Callable[[int, float, float], float],
+                  ) -> float:
     """Measure of the union of the boxes under a product measure.
 
     ``interval_measure(axis, a, b)`` must return the 1-d measure of the

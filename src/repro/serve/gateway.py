@@ -228,19 +228,22 @@ class ServeDaemon:
             return protocol.reply(request, stats=self.stats())
         if op == "subscribe":
             j = _field(request, "subscriber")
+            # The connection bookkeeping must be atomic with the broker
+            # mutation: releasing the lock first would open a window where
+            # a concurrent teardown misses the new subscriber and leaks it.
             async with self.churn_lock:
                 leaf = self.broker.subscribe(j)
-            conn.subscribers.add(j)
-            conn.pumps[j] = asyncio.get_running_loop().create_task(
-                self._pump(self.broker.queue(j), conn, j))
+                conn.subscribers.add(j)
+                conn.pumps[j] = asyncio.get_running_loop().create_task(
+                    self._pump(self.broker.queue(j), conn, j))
             return protocol.reply(request, subscriber=j, leaf=leaf,
                                   routing_version=self.broker.routing.version)
         if op == "unsubscribe":
             j = _field(request, "subscriber")
             async with self.churn_lock:
                 self.broker.unsubscribe(j)
-            conn.subscribers.discard(j)
-            pump = conn.pumps.pop(j, None)
+                conn.subscribers.discard(j)
+                pump = conn.pumps.pop(j, None)
             if pump is not None:
                 pump.cancel()
             return protocol.reply(request, subscriber=j)

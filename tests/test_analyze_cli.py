@@ -1,0 +1,155 @@
+"""CLI surface of ``python -m repro analyze`` and the mypy gate.
+
+Exit codes are the CI contract: 0 = clean (or within baseline), 2 =
+violations / regression / unusable input.  The mypy test runs only when
+mypy is importable — the library has no hard dependency on it; CI
+installs it for the static-analysis job.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A tiny scan root with one planted DET001 violation."""
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "core" / "dirty.py").write_text(textwrap.dedent("""\
+        import numpy as np
+
+        def sample() -> float:
+            rng = np.random.default_rng()
+            return float(rng.uniform())
+        """))
+    return root
+
+
+class TestAnalyzeCommand:
+    def test_clean_real_tree_exits_zero(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out and "CON003" in out
+
+    def test_planted_violation_exits_two(self, tree, capsys):
+        assert main(["analyze", "--root", str(tree)]) == 2
+        captured = capsys.readouterr()
+        assert "repro/core/dirty.py:4" in captured.err
+        assert "DET001" in captured.err
+
+    def test_rule_filter(self, tree):
+        # The planted hazard is DET001; scanning only ASY stays clean.
+        assert main(["analyze", "--root", str(tree), "--rules", "ASY"]) == 0
+        assert main(["analyze", "--root", str(tree), "--rules", "DET001"]) == 2
+
+    def test_unknown_rule_selector_exits_two(self, capsys):
+        assert main(["analyze", "--rules", "NOPE"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", "--root", str(tmp_path / "nope")]) == 2
+
+    def test_json_report_payload(self, tree, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["analyze", "--root", str(tree),
+                     "--json", str(report_path)]) == 2
+        payload = json.loads(report_path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "repro.analyze"
+        assert payload["counts"] == {"repro/core/dirty.py::DET001": 1}
+        assert payload["violations"][0]["line"] == 4
+        assert {"git_commit", "timestamp_utc", "host"} \
+            <= set(payload["metadata"])
+
+    def test_write_then_check_baseline_roundtrip(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        # Freezing the current (dirty) state exits 0 by design …
+        assert main(["analyze", "--root", str(tree),
+                     "--write-baseline", str(baseline)]) == 0
+        # … and a re-run against that baseline is within budget.
+        assert main(["analyze", "--root", str(tree),
+                     "--check-against", str(baseline)]) == 0
+        assert "ratchet clean" in capsys.readouterr().out
+
+    def test_regression_against_baseline_exits_two(self, tree, tmp_path,
+                                                   capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["analyze", "--root", str(tree),
+                     "--write-baseline", str(baseline)]) == 0
+        (tree / "core" / "worse.py").write_text(
+            "import random\nr = random.Random()\n")
+        assert main(["analyze", "--root", str(tree),
+                     "--check-against", str(baseline)]) == 2
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_improvement_against_baseline_exits_zero(self, tree, tmp_path,
+                                                     capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["analyze", "--root", str(tree),
+                     "--write-baseline", str(baseline)]) == 0
+        (tree / "core" / "dirty.py").write_text(textwrap.dedent("""\
+            import numpy as np
+
+            def sample(seed: int) -> float:
+                rng = np.random.default_rng(seed)
+                return float(rng.uniform())
+            """))
+        assert main(["analyze", "--root", str(tree),
+                     "--check-against", str(baseline)]) == 0
+        assert "lock these in" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_two(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert main(["analyze", "--root", str(tree),
+                     "--check-against", str(baseline)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, tree, capsys):
+        (tree / "core" / "broken.py").write_text("def oops(:\n")
+        # Even with no rule violations in scope, unparseable code fails.
+        assert main(["analyze", "--root", str(tree),
+                     "--rules", "ASY"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_pragma_waiver_reported(self, tree, capsys):
+        (tree / "core" / "dirty.py").write_text(textwrap.dedent("""\
+            import numpy as np
+
+            def sample() -> float:
+                rng = np.random.default_rng()  # analyze: allow[DET001] demo
+                return float(rng.uniform())
+            """))
+        assert main(["analyze", "--root", str(tree)]) == 0
+        assert "waived" in capsys.readouterr().out
+
+
+class TestCommittedGate:
+    def test_repo_gate_command_passes(self):
+        """The exact command the CI static-analysis job runs."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze",
+             "--check-against", str(REPO_ROOT / "analyze_baseline.json")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(importlib.util.find_spec("mypy") is None,
+                    reason="mypy not installed (CI installs it)")
+class TestMypyStrictPackages:
+    def test_strict_packages_typecheck(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--no-error-summary"],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,254 @@
+"""Engine, pragma allowlist, and ratchet-baseline behaviour.
+
+The centerpiece is the injected-regression test: take a clean synthetic
+package, plant an unseeded RNG the way a careless patch would, and show
+the analyzer catches it and the ratchet gate turns red — the exact
+scenario the CI job exists to stop.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analyze import (
+    ALL_RULES,
+    AnalysisReport,
+    analyze_module,
+    check_ratchet,
+    default_rules,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+from repro.analyze.model import SourceModule
+
+
+def _module(source, relpath="repro/core/mod.py", package="core"):
+    return SourceModule.from_source(textwrap.dedent(source),
+                                    relpath=relpath, package=package)
+
+
+class TestDefaultRules:
+    def test_full_catalog_by_default(self):
+        assert len(default_rules()) == len(ALL_RULES) == 12
+
+    def test_select_by_family_and_id(self):
+        det = default_rules(["DET"])
+        assert [r.rule_id for r in det] == [
+            "DET001", "DET002", "DET003", "DET004", "DET005"]
+        one = default_rules(["ASY004"])
+        assert [r.rule_id for r in one] == ["ASY004"]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            default_rules(["DET999"])
+
+
+class TestPragmaAllowlist:
+    SRC = """\
+        import numpy as np
+        rng = np.random.default_rng()  # analyze: allow[DET001] fixture needs entropy
+
+        bad = np.random.default_rng()
+        """
+
+    def test_pragma_waives_only_its_line(self):
+        # The blank line matters: a pragma covers its own line and the
+        # line below it (for pragmas written above a statement), never
+        # further.
+        kept, waived = analyze_module(_module(self.SRC),
+                                      default_rules(["DET001"]))
+        assert [v.line for v in kept] == [4]
+        assert [v.line for v in waived] == [2]
+
+    def test_pragma_on_line_above(self):
+        src = """\
+            import numpy as np
+            # analyze: allow[DET001] reseeded downstream
+            rng = np.random.default_rng()
+            """
+        kept, waived = analyze_module(_module(src), default_rules(["DET001"]))
+        assert kept == []
+        assert [v.line for v in waived] == [3]
+
+    def test_star_pragma_waives_everything(self):
+        src = """\
+            import numpy as np
+            rng = np.random.default_rng()  # analyze: allow[*] test fixture
+            """
+        kept, waived = analyze_module(_module(src), default_rules())
+        assert kept == []
+        assert {v.rule for v in waived} == {"DET001"}
+
+    def test_waived_findings_counted_separately(self):
+        kept, waived = analyze_module(_module(self.SRC),
+                                      default_rules(["DET001"]))
+        report = AnalysisReport(root="x", files_scanned=1,
+                                violations=kept, allowlisted=waived)
+        assert report.counts() == {"repro/core/mod.py::DET001": 1}
+        assert not report.ok
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    """A miniature ``repro``-shaped source tree with no violations."""
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "core" / "__init__.py").write_text("")
+    (root / "core" / "algo.py").write_text(textwrap.dedent("""\
+        import numpy as np
+
+        def solve(seed: int) -> float:
+            rng = np.random.default_rng(seed)
+            return float(rng.uniform())
+        """))
+    return root
+
+
+class TestRunAnalysis:
+    def test_clean_tree_is_clean(self, clean_tree):
+        report = run_analysis(clean_tree)
+        assert report.ok
+        assert report.files_scanned == 2
+        assert report.counts() == {}
+
+    def test_relpaths_rooted_at_scan_root(self, clean_tree):
+        report = run_analysis(clean_tree)
+        # Baseline keys must not depend on where the checkout lives.
+        assert report.root.endswith("repro")
+        kept, _ = analyze_module(
+            SourceModule.parse(clean_tree / "core" / "algo.py",
+                               "repro/core/algo.py", "core"),
+            default_rules())
+        assert kept == []
+
+    def test_syntax_error_reported_not_fatal(self, clean_tree):
+        (clean_tree / "core" / "broken.py").write_text("def oops(:\n")
+        report = run_analysis(clean_tree)
+        assert not report.ok
+        assert len(report.parse_errors) == 1
+        assert "broken.py" in report.parse_errors[0]
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_analysis(tmp_path / "nope")
+
+
+class TestInjectedRegression:
+    """The negative test the ISSUE demands: a planted unseeded-RNG
+    regression must flip the analyzer and the ratchet gate red."""
+
+    def test_unseeded_rng_injection_is_caught(self, clean_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_analysis(clean_tree))
+        assert load_baseline(baseline_path) == {}
+
+        # The careless patch: drop the seed argument.
+        algo = clean_tree / "core" / "algo.py"
+        algo.write_text(algo.read_text().replace(
+            "np.random.default_rng(seed)", "np.random.default_rng()"))
+
+        report = run_analysis(clean_tree)
+        assert [v.rule for v in report.violations] == ["DET001"]
+        assert report.counts() == {"repro/core/algo.py::DET001": 1}
+
+        ratchet = check_ratchet(report, load_baseline(baseline_path))
+        assert not ratchet.ok
+        assert ratchet.regressions == ["repro/core/algo.py::DET001: 0 -> 1"]
+        assert "REGRESSIONS" in ratchet.summary()
+
+    def test_module_global_rng_injection_is_caught(self, clean_tree):
+        (clean_tree / "core" / "jitter.py").write_text(textwrap.dedent("""\
+            import numpy as np
+
+            def jitter(x: float) -> float:
+                return x + np.random.normal()
+            """))
+        report = run_analysis(clean_tree)
+        assert [v.rule for v in report.violations] == ["DET002"]
+
+
+class TestRatchet:
+    def _report(self, counts):
+        from repro.analyze.model import Violation
+        violations = [
+            Violation(rule=key.split("::")[1], path=key.split("::")[0],
+                      line=i + 1, col=0, message="x")
+            for key, n in counts.items() for i in range(n)]
+        return AnalysisReport(root="r", files_scanned=1,
+                              violations=violations, allowlisted=[])
+
+    def test_decrease_is_improvement_not_failure(self):
+        baseline = {"repro/a.py::DET001": 2}
+        result = check_ratchet(self._report({"repro/a.py::DET001": 1}),
+                               baseline)
+        assert result.ok
+        assert result.improvements == ["repro/a.py::DET001: 2 -> 1"]
+        assert "lock these in" in result.summary()
+
+    def test_increase_and_new_bucket_are_regressions(self):
+        baseline = {"repro/a.py::DET001": 1}
+        result = check_ratchet(
+            self._report({"repro/a.py::DET001": 2, "repro/b.py::CON002": 1}),
+            baseline)
+        assert not result.ok
+        assert result.regressions == ["repro/a.py::DET001: 1 -> 2",
+                                      "repro/b.py::CON002: 0 -> 1"]
+
+    def test_vanished_file_is_improvement(self):
+        baseline = {"repro/gone.py::DET003": 4}
+        result = check_ratchet(self._report({}), baseline)
+        assert result.ok
+        assert result.improvements == ["repro/gone.py::DET003: 4 -> 0"]
+
+    def test_equal_counts_clean(self):
+        baseline = {"repro/a.py::DET001": 1}
+        result = check_ratchet(self._report({"repro/a.py::DET001": 1}),
+                               baseline)
+        assert result.ok
+        assert "clean" in result.summary()
+
+    def test_baseline_schema_version_enforced(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema_version": 99, "counts": {}}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_baseline(path)
+
+    def test_baseline_without_counts_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        with pytest.raises(ValueError, match="counts"):
+            load_baseline(path)
+
+
+class TestPayload:
+    def test_payload_schema_and_provenance(self, clean_tree):
+        rules = default_rules()
+        payload = run_analysis(clean_tree).as_payload(rules)
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "repro.analyze"
+        assert payload["total_violations"] == 0
+        assert payload["counts"] == {}
+        assert len(payload["rule_catalog"]) == 12
+        # Same provenance block shape as the bench payloads.
+        metadata = payload["metadata"]
+        assert {"git_commit", "timestamp_utc", "host"} <= set(metadata)
+
+    def test_committed_repo_baseline_is_current(self):
+        """The committed baseline must match a fresh run of the real tree.
+
+        This is the test that forces whoever fixes (or introduces)
+        violations to regenerate ``analyze_baseline.json`` in the same
+        change — the ratchet cannot silently drift.
+        """
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parent.parent
+        baseline_path = repo_root / "analyze_baseline.json"
+        assert baseline_path.exists(), "committed ratchet baseline missing"
+        baseline = load_baseline(baseline_path)
+        report = run_analysis()  # defaults to the installed src/repro
+        assert report.parse_errors == []
+        assert check_ratchet(report, baseline).ok, (
+            "analyzer found violations above the committed baseline:\n"
+            + "\n".join(str(v) for v in report.violations))

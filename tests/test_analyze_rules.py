@@ -1,0 +1,416 @@
+"""Planted-violation fixtures for every analyzer rule.
+
+Each test plants the hazard in a synthetic module, asserts the rule
+fires on exactly the expected line(s), and pairs it with a clean
+variant the rule must stay silent on.  The fixtures are the executable
+specification of the rule catalog: a rule change that widens or narrows
+a rule shows up here first.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyze.asyncsafety import (
+    AwaitStraddleRule,
+    BlockingCallRule,
+    UnawaitedCoroutineRule,
+    UntrackedTaskRule,
+)
+from repro.analyze.contracts import (
+    BareExceptRule,
+    MissingAnnotationsRule,
+    SilentHandlerRule,
+)
+from repro.analyze.determinism import (
+    FloatEqualityRule,
+    GlobalRngRule,
+    SetOrderRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from repro.analyze.model import SourceModule
+
+
+def lines_hit(rule, source, package):
+    """Source lines (1-indexed) where ``rule`` fires on ``source``."""
+    module = SourceModule.from_source(textwrap.dedent(source),
+                                      relpath=f"repro/{package}/mod.py",
+                                      package=package)
+    assert rule.applies_to(module)
+    return [v.line for v in rule.check(module)]
+
+
+class TestUnseededRng:
+    def test_flags_argless_constructors(self):
+        src = """\
+            import random
+            import numpy as np
+            a = random.Random()
+            b = np.random.default_rng()
+            """
+        assert lines_hit(UnseededRngRule(), src, "core") == [3, 4]
+
+    def test_silent_when_seeded(self):
+        src = """\
+            import random
+            import numpy as np
+            a = random.Random(42)
+            b = np.random.default_rng(seed)
+            c = np.random.default_rng(seed=7)
+            """
+        assert lines_hit(UnseededRngRule(), src, "core") == []
+
+    def test_resolves_import_aliases(self):
+        src = """\
+            from numpy.random import default_rng
+            rng = default_rng()
+            """
+        assert lines_hit(UnseededRngRule(), src, "workloads") == [2]
+
+    def test_out_of_scope_package_skipped(self):
+        module = SourceModule.from_source(
+            "import random\nr = random.Random()\n",
+            relpath="repro/bench/mod.py", package="bench")
+        assert not UnseededRngRule().applies_to(module)
+
+
+class TestGlobalRng:
+    def test_flags_module_level_convenience_calls(self):
+        src = """\
+            import random
+            import numpy as np
+            x = random.randint(0, 9)
+            y = np.random.rand(3)
+            """
+        assert lines_hit(GlobalRngRule(), src, "verify") == [3, 4]
+
+    def test_silent_on_instance_methods(self):
+        src = """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.integers(0, 9)
+            y = rng.uniform(size=3)
+            """
+        assert lines_hit(GlobalRngRule(), src, "verify") == []
+
+
+class TestWallClock:
+    def test_flags_wall_clock_reads(self):
+        src = """\
+            import time
+            from datetime import datetime
+            t0 = time.time()
+            stamp = datetime.now()
+            """
+        assert lines_hit(WallClockRule(), src, "flow") == [3, 4]
+
+    def test_monotonic_timers_allowed(self):
+        src = """\
+            import time
+            t0 = time.perf_counter()
+            t1 = time.monotonic()
+            """
+        assert lines_hit(WallClockRule(), src, "flow") == []
+
+
+class TestSetOrder:
+    def test_flags_list_of_set(self):
+        src = """\
+            def f(items):
+                pending = set(items)
+                return list(pending)
+            """
+        assert lines_hit(SetOrderRule(), src, "core") == [3]
+
+    def test_flags_order_sensitive_loop(self):
+        src = """\
+            def f(edges):
+                out = []
+                for e in {1, 2, 3}:
+                    out.append(e)
+                return out
+            """
+        assert lines_hit(SetOrderRule(), src, "core") == [3]
+
+    def test_flags_comprehension_over_set(self):
+        src = """\
+            def f(items):
+                seen = set(items)
+                return [x * 2 for x in seen]
+            """
+        assert lines_hit(SetOrderRule(), src, "core") == [3]
+
+    def test_sorted_wrapper_is_clean(self):
+        src = """\
+            def f(items):
+                pending = set(items)
+                ordered = sorted(pending)
+                total = sum(x for x in pending)
+                for e in sorted(pending):
+                    ordered.append(e)
+                return ordered, total
+            """
+        assert lines_hit(SetOrderRule(), src, "core") == []
+
+    def test_order_free_loop_is_clean(self):
+        # A loop that only accumulates a commutative reduction is fine.
+        src = """\
+            def f(items):
+                total = 0
+                for e in set(items):
+                    total += e
+                return total
+            """
+        assert lines_hit(SetOrderRule(), src, "core") == []
+
+    def test_each_finding_reported_once(self):
+        src = """\
+            def f(items):
+                return list(set(items))
+            """
+        rule = SetOrderRule()
+        module = SourceModule.from_source(textwrap.dedent(src),
+                                          relpath="repro/core/mod.py",
+                                          package="core")
+        assert len(rule.check(module)) == 1
+
+
+class TestFloatEquality:
+    def test_flags_float_literal_comparison(self):
+        src = """\
+            def check(x):
+                assert x == 0.3
+                return x != 2.5
+            """
+        assert lines_hit(FloatEqualityRule(), src, "verify") == [2, 3]
+
+    def test_exact_sentinels_exempt(self):
+        src = """\
+            def check(x):
+                a = x == 0.0
+                b = x == 1.0
+                c = x == -1.0
+                d = x == float("inf")
+                return a or b or c or d
+            """
+        assert lines_hit(FloatEqualityRule(), src, "verify") == []
+
+    def test_only_invariant_packages_in_scope(self):
+        module = SourceModule.from_source(
+            "ok = 1.5 == 1.5\n", relpath="repro/workloads/mod.py",
+            package="workloads")
+        assert not FloatEqualityRule().applies_to(module)
+
+
+ASYNC = "serve"
+
+
+class TestUnawaitedCoroutine:
+    def test_flags_bare_known_coroutine(self):
+        src = """\
+            import asyncio
+            async def f():
+                asyncio.sleep(1)
+            """
+        assert lines_hit(UnawaitedCoroutineRule(), src, ASYNC) == [3]
+
+    def test_flags_module_local_coroutine(self):
+        src = """\
+            async def helper():
+                pass
+            async def f():
+                helper()
+            """
+        assert lines_hit(UnawaitedCoroutineRule(), src, ASYNC) == [4]
+
+    def test_flags_self_async_method(self):
+        src = """\
+            class Daemon:
+                async def _drain(self):
+                    pass
+                async def stop(self):
+                    self._drain()
+            """
+        assert lines_hit(UnawaitedCoroutineRule(), src, ASYNC) == [5]
+
+    def test_silent_on_awaited_and_sync_calls(self):
+        src = """\
+            import asyncio
+            class Daemon:
+                def close(self):
+                    pass
+                async def _drain(self):
+                    pass
+                async def stop(self):
+                    await self._drain()
+                    await asyncio.sleep(0)
+                    self.close()
+                    self._writer.close()
+            """
+        assert lines_hit(UnawaitedCoroutineRule(), src, ASYNC) == []
+
+
+class TestUntrackedTask:
+    def test_flags_fire_and_forget_create_task(self):
+        src = """\
+            import asyncio
+            async def f(coro):
+                asyncio.create_task(coro)
+            """
+        assert lines_hit(UntrackedTaskRule(), src, ASYNC) == [3]
+
+    def test_silent_when_reference_retained(self):
+        src = """\
+            import asyncio
+            async def f(self, coro):
+                self.task = asyncio.create_task(coro)
+                t = asyncio.create_task(coro)
+                return t
+            """
+        assert lines_hit(UntrackedTaskRule(), src, ASYNC) == []
+
+
+class TestBlockingCall:
+    def test_flags_blocking_calls_in_async_def(self):
+        src = """\
+            import time
+            import subprocess
+            async def f():
+                time.sleep(1)
+                subprocess.run(["ls"])
+            """
+        assert lines_hit(BlockingCallRule(), src, ASYNC) == [4, 5]
+
+    def test_sync_def_and_nested_sync_scope_clean(self):
+        src = """\
+            import time
+            def f():
+                time.sleep(1)
+            async def g():
+                def inner():
+                    time.sleep(1)
+                return inner
+            """
+        assert lines_hit(BlockingCallRule(), src, ASYNC) == []
+
+
+class TestAwaitStraddle:
+    def test_flags_check_then_set_across_await(self):
+        src = """\
+            class Broker:
+                async def bump(self):
+                    count = self.count
+                    await self.flush()
+                    self.count = count + 1
+            """
+        assert lines_hit(AwaitStraddleRule(), src, ASYNC) == [5]
+
+    def test_atomic_augassign_is_clean(self):
+        src = """\
+            class Broker:
+                async def bump(self):
+                    await self.flush()
+                    self.count += 1
+            """
+        assert lines_hit(AwaitStraddleRule(), src, ASYNC) == []
+
+    def test_lock_guarded_write_is_clean(self):
+        src = """\
+            class Broker:
+                async def bump(self):
+                    value = self.count
+                    async with self.lock:
+                        await self.flush()
+                        self.count = value + 1
+            """
+        assert lines_hit(AwaitStraddleRule(), src, ASYNC) == []
+
+    def test_write_without_intervening_await_is_clean(self):
+        src = """\
+            class Broker:
+                async def bump(self):
+                    value = self.count
+                    self.count = value + 1
+                    await self.flush()
+            """
+        assert lines_hit(AwaitStraddleRule(), src, ASYNC) == []
+
+
+class TestMissingAnnotations:
+    def test_flags_unannotated_public_function(self):
+        src = """\
+            def solve(problem, alpha=3):
+                return problem
+            """
+        assert lines_hit(MissingAnnotationsRule(), src, "core") == [1]
+
+    def test_flags_unannotated_public_method(self):
+        src = """\
+            class Solver:
+                def run(self, problem):
+                    return problem
+            """
+        assert lines_hit(MissingAnnotationsRule(), src, "core") == [2]
+
+    def test_private_and_annotated_are_clean(self):
+        src = """\
+            def _internal(x):
+                return x
+            def solve(problem: object, alpha: int = 3) -> object:
+                return problem
+            class Solver:
+                def run(self, problem: object) -> object:
+                    return self._helper(problem)
+                def _helper(self, problem):
+                    return problem
+            class _Hidden:
+                def run(self, problem):
+                    return problem
+            """
+        assert lines_hit(MissingAnnotationsRule(), src, "core") == []
+
+
+class TestExceptRules:
+    def test_bare_except_flagged_everywhere(self):
+        src = """\
+            try:
+                work()
+            except:
+                cleanup()
+            """
+        # packages=None: applies even outside the contract packages
+        assert lines_hit(BareExceptRule(), src, "bench") == [3]
+
+    def test_silent_broad_handler_flagged(self):
+        src = """\
+            try:
+                work()
+            except Exception:
+                pass
+            """
+        assert lines_hit(SilentHandlerRule(), src, "serve") == [3]
+
+    def test_narrow_or_handled_exceptions_clean(self):
+        src = """\
+            try:
+                work()
+            except ValueError:
+                pass
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+            """
+        assert lines_hit(BareExceptRule(), src, "core") == []
+        assert lines_hit(SilentHandlerRule(), src, "core") == []
+
+
+class TestRuleMetadata:
+    def test_every_rule_carries_catalog_fields(self):
+        from repro.analyze import ALL_RULES
+        ids = [cls.rule_id for cls in ALL_RULES]
+        assert len(ids) == len(set(ids)) == 12
+        for cls in ALL_RULES:
+            assert cls.rule_id[:3] in ("DET", "ASY", "CON")
+            assert cls.title and cls.rationale
