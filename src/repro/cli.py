@@ -82,6 +82,7 @@ from .analyze import (
 from .bench.harness import run_metadata
 from .bench.tables import format_table
 from .core.registry import algorithm_names, get_algorithm
+from .core.slp import AggregationConfig
 from .dynamic import DynamicPubSub, generate_churn_trace
 from .metrics import evaluate_solution, runtime_report_rows, total_bandwidth
 from .perf.cache import geometry_cache
@@ -171,6 +172,33 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--multilevel", action="store_true")
     parser.add_argument("--max-out-degree", type=int, default=8)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--aggregate", type=int, default=None, metavar="N",
+                        help="SLP variants: aggregate subscriptions into "
+                             "super-subscriptions of at most N members "
+                             "before the LP (0/1 disables; the scaling "
+                             "mode for large m)")
+    parser.add_argument("--lp-workers", type=int, default=None, metavar="W",
+                        help="SLP variants: processes for decomposed LP "
+                             "blocks (default: serial)")
+
+
+def _algorithm_kwargs(args: argparse.Namespace, name: str) -> dict:
+    """Keyword arguments for one registered algorithm.
+
+    Only the SLP variants are seeded/configurable; ``--aggregate`` and
+    ``--lp-workers`` are silently ignored for the greedy baselines, which
+    have no LP to aggregate or decompose.
+    """
+    if name not in ("SLP1", "SLP"):
+        return {}
+    kwargs: dict = {"seed": args.seed}
+    aggregate = getattr(args, "aggregate", None)
+    if aggregate is not None:
+        kwargs["aggregation"] = AggregationConfig(max_group_size=aggregate)
+    lp_workers = getattr(args, "lp_workers", None)
+    if lp_workers is not None:
+        kwargs["lp_workers"] = lp_workers
+    return kwargs
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -179,8 +207,7 @@ def _command_run(args: argparse.Namespace) -> int:
     rows = []
     for name in args.algorithms:
         fn = get_algorithm(name)
-        kwargs = {"seed": args.seed} if name in ("SLP1", "SLP") else {}
-        solution = fn(problem, **kwargs)
+        solution = fn(problem, **_algorithm_kwargs(args, name))
         report = evaluate_solution(name, solution)
         rows.append([name, report.bandwidth,
                      solution.fractional_bandwidth, report.rms_delay,
@@ -194,8 +221,7 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     workload, problem = _build_problem(args)
     fn = get_algorithm(args.algorithm)
-    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
-    solution = fn(problem, **kwargs)
+    solution = fn(problem, **_algorithm_kwargs(args, args.algorithm))
 
     events = UniformEvents(workload.event_domain)
     rng = np.random.default_rng(args.seed)
@@ -277,8 +303,7 @@ def _command_runtime(args: argparse.Namespace) -> int:
 
     workload, problem = _build_problem(args)
     fn = get_algorithm(args.algorithm)
-    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
-    solution = fn(problem, **kwargs)
+    solution = fn(problem, **_algorithm_kwargs(args, args.algorithm))
 
     events = UniformEvents(workload.event_domain)
     rng = np.random.default_rng(args.seed)
@@ -353,8 +378,7 @@ def _command_verify(args: argparse.Namespace) -> int:
     rows = []
     for name in args.algorithms:
         fn = get_algorithm(name)
-        kwargs = {"seed": args.seed} if name in ("SLP1", "SLP") else {}
-        solution = fn(problem, **kwargs)
+        solution = fn(problem, **_algorithm_kwargs(args, name))
 
         if args.corrupt:
             try:
@@ -396,7 +420,7 @@ def _command_verify(args: argparse.Namespace) -> int:
 def _command_profile(args: argparse.Namespace) -> int:
     _workload, problem = _build_problem(args)
     fn = get_algorithm(args.algorithm)
-    kwargs = {"seed": args.seed} if args.algorithm in ("SLP1", "SLP") else {}
+    kwargs = _algorithm_kwargs(args, args.algorithm)
 
     calibration = calibrate()
     best_elapsed = None
@@ -423,6 +447,8 @@ def _command_profile(args: argparse.Namespace) -> int:
         "brokers": args.brokers,
         "multilevel": bool(args.multilevel),
         "seed": args.seed,
+        "aggregate": args.aggregate,
+        "lp_workers": args.lp_workers,
         "repeats": args.repeats,
         "total_seconds": best_elapsed,
         "calibration_seconds": calibration,

@@ -1,6 +1,19 @@
 """SLP: subscriber assignment by linear programming (paper Sections IV-V)."""
 
-from .assign_flow import AssignmentOutcome, assign_subscriptions
+from .aggregate import (
+    AggregatedDistribution,
+    Aggregation,
+    AggregationConfig,
+    aggregate_subscriptions,
+    distribute_aggregated,
+    expand_assignment,
+    verify_aggregation,
+)
+from .assign_flow import (
+    AssignmentOutcome,
+    assign_subscriptions,
+    assign_subscriptions_weighted,
+)
 from .adjust import adjust_filters
 from .filtergen import FilterGenConfig, generate_candidate_filters
 from .lp_relax import LPOutcome, lp_relax
@@ -23,5 +36,13 @@ __all__ = [
     "lp_relax",
     "AssignmentOutcome",
     "assign_subscriptions",
+    "assign_subscriptions_weighted",
     "adjust_filters",
+    "AggregationConfig",
+    "Aggregation",
+    "AggregatedDistribution",
+    "aggregate_subscriptions",
+    "verify_aggregation",
+    "expand_assignment",
+    "distribute_aggregated",
 ]

@@ -29,7 +29,7 @@ from ...geometry import RectSet
 from .view import SLPView
 
 __all__ = ["AssignmentOutcome", "assign_subscriptions",
-           "assign_subscriptions_maxflow"]
+           "assign_subscriptions_maxflow", "assign_subscriptions_weighted"]
 
 
 @dataclass
@@ -433,4 +433,125 @@ def assign_subscriptions_maxflow(view: SLPView, filters: list[RectSet],
             "uncoverable": len(uncoverable),
             "escalations": 0,
         },
+    )
+
+
+def assign_subscriptions_weighted(view: SLPView, filters: list[RectSet],
+                                  escalation_step: float = 1.05
+                                  ) -> AssignmentOutcome:
+    """Assignment for weighted views (super-subscriptions).
+
+    Groups are indivisible, so this is bin packing rather than max-flow:
+    a best-fit-decreasing greedy with the same locality rule as
+    :func:`assign_subscriptions` (least filter enlargement under spare
+    capacity, ties toward the tightest covering rect then the least
+    relative load), escalating the load-balance factor toward
+    ``beta_max`` for whatever will not fit.  Capacities are expressed in
+    *member* units (``floor(betabar * kappa_i * total_weight)``) —
+    exactly the caps the expanded member-level problem has — and any
+    residual overload is repaired exactly at member granularity by the
+    aggregation driver after expansion.
+    """
+    if view.weights is None:
+        raise ValueError("weighted assignment requires view.weights")
+    weights = view.weights.astype(np.int64)
+    m = view.num_subscribers
+    total = float(weights.sum())
+    cost = _coverage_costs(view, filters)
+    covered = np.isfinite(cost)
+
+    uncoverable = np.flatnonzero(~covered.any(axis=0))
+    for j in uncoverable:
+        feasible_targets = np.flatnonzero(view.feasible[:, j])
+        if len(feasible_targets) == 0:
+            feasible_targets = np.arange(view.num_targets)
+        cost[feasible_targets, j] = np.nanmax(
+            np.where(np.isfinite(cost), cost, np.nan)) + 1.0 \
+            if np.isfinite(cost).any() else 1.0
+        covered[feasible_targets, j] = True
+
+    coverers = [np.flatnonzero(covered[:, j]) for j in range(m)]
+
+    def caps_at(b: float) -> np.ndarray:
+        return np.floor(b * view.kappas_effective * total).astype(np.int64)
+
+    betabar = view.beta
+    caps = caps_at(betabar)
+    loads = np.zeros(view.num_targets, dtype=np.int64)
+    assigned = np.full(m, -1, dtype=int)
+
+    # Fewest options first, heaviest first within a tie: the constrained
+    # heavy groups claim capacity while every bin is still open.
+    num_options = np.fromiter((len(c) for c in coverers), dtype=np.int64,
+                              count=m)
+    order = np.lexsort((-weights, num_options))
+
+    state = _SlotState(view.num_targets, view.alpha, view.subscriptions.dim)
+    stranded: list[int] = []
+    for j in order:
+        options = coverers[j]
+        open_mask = loads[options] + weights[j] <= caps[options]
+        if open_mask.any():
+            open_options = options[open_mask]
+            sub_lo = view.subscriptions.lo[j]
+            sub_hi = view.subscriptions.hi[j]
+            enlargement = state.costs(open_options, sub_lo, sub_hi)
+            ranked = np.lexsort((
+                loads[open_options] / np.maximum(
+                    view.kappas_effective[open_options], 1e-12),
+                cost[open_options, j],
+                enlargement))
+            pick = int(open_options[ranked[0]])
+            assigned[j] = pick
+            loads[pick] += weights[j]
+            state.commit(pick, sub_lo, sub_hi)
+        else:
+            stranded.append(int(j))
+
+    # Escalate the lbf for whatever would not fit; groups stay whole, so
+    # only the caps move (a path-augmenting exchange of unequal weights
+    # is not a flow — the member-level repair handles the remainder).
+    escalations = 0
+    remaining = stranded
+    while remaining and betabar < view.beta_max:
+        betabar = min(betabar * escalation_step, view.beta_max)
+        caps = caps_at(betabar)
+        escalations += 1
+        still: list[int] = []
+        for j in remaining:
+            options = coverers[j]
+            open_mask = loads[options] + weights[j] <= caps[options]
+            if open_mask.any():
+                open_options = options[open_mask]
+                relative = loads[open_options] / np.maximum(
+                    view.kappas_effective[open_options], 1e-12)
+                ranked = np.lexsort((relative, cost[open_options, j]))
+                pick = int(open_options[ranked[0]])
+                assigned[j] = pick
+                loads[pick] += weights[j]
+            else:
+                still.append(j)
+        remaining = still
+
+    feasible = not remaining and len(uncoverable) == 0
+    unrouted = np.array(remaining, dtype=int)
+    for j in remaining:  # best effort: least relative load among coverers
+        options = coverers[j]
+        relative = loads[options] / np.maximum(
+            view.kappas_effective[options], 1e-12)
+        pick = int(options[relative.argmin()])
+        assigned[j] = pick
+        loads[pick] += weights[j]
+
+    return AssignmentOutcome(
+        target_of=assigned,
+        achieved_beta=betabar,
+        feasible=feasible,
+        info={
+            "stranded_after_seed": len(stranded),
+            "unrouted": len(remaining),
+            "uncoverable": len(uncoverable),
+            "escalations": escalations,
+        },
+        unrouted_subscribers=unrouted,
     )

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 from ...geometry import RectSet
-from ...perf.fastlp import solve_bounded_lp
+from ...perf.fastlp import active_lp_workspace, solve_bounded_lp
 from ...perf.profiler import span
 
 __all__ = ["LPOutcome", "lp_relax"]
@@ -69,8 +69,9 @@ def _ranges(counts: np.ndarray) -> np.ndarray:
 def _assemble_constraints(feasible: np.ndarray, sb_mask: np.ndarray,
                           contain: np.ndarray, num_y: int, u: int,
                           pair_broker: np.ndarray, pair_sub: np.ndarray,
-                          kappas: np.ndarray, alpha: int,
-                          beta: float) -> tuple[sparse.csr_matrix, np.ndarray]:
+                          kappas: np.ndarray, alpha: int, beta: float,
+                          weights: np.ndarray | None = None,
+                          ) -> tuple[sparse.csr_matrix, np.ndarray]:
     """Build ``A_ub x <= b_ub`` for C1-C4 with pure index arithmetic.
 
     Variable layout (matching the docstring): y variables broker-major
@@ -100,6 +101,9 @@ def _assemble_constraints(feasible: np.ndarray, sb_mask: np.ndarray,
     row += m
 
     # (C3) load balance over Sb: one row per broker with >= 1 Sb member.
+    # With weights (aggregated super-subscriptions) each x variable
+    # carries its member count and the budget runs over the represented
+    # real subscribers; the unweighted branch is the exact original code.
     sb_count = int(sb_mask.sum())
     if sb_count:
         t_sb = np.flatnonzero(sb_mask[pair_sub])
@@ -109,8 +113,12 @@ def _assemble_constraints(feasible: np.ndarray, sb_mask: np.ndarray,
         compacted = np.cumsum(has_members) - 1 + row
         c3_rows = compacted[sb_brokers]
         c3_cols = num_y + t_sb
-        c3_vals = np.ones(len(t_sb))
-        c3_b = beta * kappas[has_members] * sb_count
+        if weights is None:
+            c3_vals = np.ones(len(t_sb))
+            c3_b = beta * kappas[has_members] * sb_count
+        else:
+            c3_vals = weights[pair_sub[t_sb]].astype(float)
+            c3_b = beta * kappas[has_members] * float(weights[sb_mask].sum())
         row += int(has_members.sum())
     else:
         c3_rows = c3_cols = np.empty(0, dtype=int)
@@ -150,7 +158,8 @@ def lp_relax(sub_rects: RectSet,
              kappas: np.ndarray,
              alpha: int,
              beta: float,
-             rng: np.random.Generator) -> LPOutcome | None:
+             rng: np.random.Generator,
+             weights: np.ndarray | None = None) -> LPOutcome | None:
     """Solve the relaxed filter-assignment LP and round the filters.
 
     Parameters
@@ -167,6 +176,11 @@ def lp_relax(sub_rects: RectSet,
     kappas:
         Effective capacity fractions per broker (scaled by the caller for
         multi-level sub-problems).
+    weights:
+        Optional per-sample-member weights (member counts when the
+        sample rows are super-subscriptions); C3 budgets then run in
+        real-subscriber units.  ``None`` keeps the unweighted LP
+        bit-identical to the original formulation.
     Returns ``None`` when the LP is infeasible.
     """
     num_brokers, m = feasible.shape
@@ -192,9 +206,13 @@ def lp_relax(sub_rects: RectSet,
     with span("lp_assemble"):
         a_ub, b_ub = _assemble_constraints(feasible, sb_mask, contain,
                                            num_y, u, pair_broker, pair_sub,
-                                           kappas, alpha, beta)
+                                           kappas, alpha, beta, weights)
+    workspace = active_lp_workspace()
     with span("lp_solve"):
-        result = solve_bounded_lp(cost, a_ub, b_ub)
+        if workspace is not None:
+            result = workspace.solve(cost, a_ub, b_ub)
+        else:
+            result = solve_bounded_lp(cost, a_ub, b_ub)
     if not result.success:
         return None
 

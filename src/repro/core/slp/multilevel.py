@@ -29,8 +29,10 @@ from typing import Any
 import numpy as np
 
 from ...perf.cache import geometry_cache
+from ...perf.fastlp import lp_workspace
 from ...perf.profiler import span
 from ..problem import SAProblem, SASolution, filters_from_assignment
+from .aggregate import AggregationConfig, distribute_aggregated
 from .assign_flow import _augment, _CovererCSR, assign_subscriptions
 from .sampling import FilterAssignConfig, filter_assign
 from .view import SLPView
@@ -64,11 +66,23 @@ def _leaf_feasibility(problem: SAProblem, leaf_rows: np.ndarray,
 
 def _distribute(view: SLPView, rng: np.random.Generator,
                 config: FilterAssignConfig | None,
-                info: dict[str, Any]) -> np.ndarray:
+                info: dict[str, Any],
+                aggregation: AggregationConfig | None = None) -> np.ndarray:
     """One SLP1 core run on a view; returns the target row per subscriber."""
-    preliminary = filter_assign(view, rng, config)
-    with span("assign"):
-        outcome = assign_subscriptions(view, preliminary.filters)
+    if aggregation is not None:
+        dist = distribute_aggregated(view, rng, config, aggregation)
+        preliminary = dist.preliminary
+        outcome = dist.outcome
+        target_of = dist.target_of
+        if not dist.info.get("identity", True):
+            info["aggregated_levels"] = info.get("aggregated_levels", 0) + 1
+            info["aggregated_groups"] = info.get("aggregated_groups", 0) \
+                + dist.info["groups"]
+    else:
+        preliminary = filter_assign(view, rng, config)
+        with span("assign"):
+            outcome = assign_subscriptions(view, preliminary.filters)
+        target_of = outcome.target_of
     info["lp_calls"] += preliminary.info.get("lp_calls", 0)
     info["slp1_invocations"] += 1
     if preliminary.fractional_objective is not None:
@@ -78,7 +92,7 @@ def _distribute(view: SLPView, rng: np.random.Generator,
         info["fallbacks"] += 1
     if not outcome.feasible:
         info["infeasible_levels"] += 1
-    return outcome.target_of
+    return target_of
 
 
 def _global_rebalance(problem: SAProblem, assignment: np.ndarray,
@@ -160,13 +174,20 @@ def _global_rebalance(problem: SAProblem, assignment: np.ndarray,
 
 
 def slp(problem: SAProblem, *, seed: int = 0, gamma: int = 0,
-        config: FilterAssignConfig | None = None) -> SASolution:
+        config: FilterAssignConfig | None = None,
+        aggregation: AggregationConfig | None = None,
+        lp_workers: int | None = None) -> SASolution:
     """Run multi-level SLP on an SA problem.
 
     ``gamma`` collapses the recursion: a node whose subscriber subset has
     at most ``gamma`` members assigns straight to its subtree's leaves
     with one SLP1 run (0 disables the shortcut except at the bottom
     level, which is always exact).
+
+    ``aggregation`` compresses each level's view into super-subscriptions
+    before its LP (see :mod:`.aggregate`); sub-views at or below the
+    config's ``min_subscribers`` stay exact.  ``lp_workers`` fans
+    decomposed LP blocks across a process pool.
     """
     started = time.perf_counter()
     rng = np.random.default_rng(seed)
@@ -195,7 +216,7 @@ def slp(problem: SAProblem, *, seed: int = 0, gamma: int = 0,
             beta=problem.params.beta,
             beta_max=problem.params.beta_max,
         )
-        targets = _distribute(view, rng, config, info)
+        targets = _distribute(view, rng, config, info, aggregation)
         assignment[members] = tree.leaves[leaf_rows[targets]]
 
     def recurse(node: int, members: np.ndarray) -> None:
@@ -226,17 +247,18 @@ def slp(problem: SAProblem, *, seed: int = 0, gamma: int = 0,
             beta=problem.params.beta,
             beta_max=problem.params.beta_max,
         )
-        targets = _distribute(view, rng, config, info)
+        targets = _distribute(view, rng, config, info, aggregation)
         for row, child in enumerate(children):
             recurse(child, members[targets == row])
 
-    with geometry_cache() as cache:
+    with geometry_cache() as cache, lp_workspace(workers=lp_workers) as ws:
         recurse(0, np.arange(m))
         with span("rebalance"):
             assignment = _global_rebalance(problem, assignment, info)
         with span("adjust"):
             filters = filters_from_assignment(problem, assignment, rng)
         info["geometry_cache"] = cache.stats()
+        info["lp_workspace"] = ws.stats()
 
     fractional = (info["fractional_sum"]
                   if info["fractional_levels"] else None)

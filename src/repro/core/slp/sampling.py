@@ -31,7 +31,7 @@ import numpy as np
 
 from ...geometry import RectSet
 from ...perf.profiler import span
-from .assign_flow import assign_subscriptions
+from .assign_flow import assign_subscriptions, assign_subscriptions_weighted
 from .filtergen import FilterGenConfig, generate_candidate_filters
 from .lp_relax import lp_relax
 from .view import SLPView
@@ -108,7 +108,9 @@ def _run_helper(view: SLPView, sample: np.ndarray, rng: np.random.Generator,
                 network_points=view.network_points[sa])
         outcome = lp_relax(sa_subs, view.feasible[:, sa], sb_mask, candidates,
                            view.kappas_effective, view.alpha,
-                           float(betas[attempt]), rng)
+                           float(betas[attempt]), rng,
+                           weights=None if view.weights is None
+                           else view.weights[sa])
         if outcome is not None:
             return outcome.filters, outcome.fractional_objective
     return None
@@ -138,10 +140,17 @@ def prune_redundant_rects(view: SLPView,
     broker's **exclusive demand** (subscribers it alone covers) would
     exceed its desired-lbf capacity ``floor(beta * kappa_i * m)`` — the
     exact Hall-condition failure a coverage-only prune runs into.
+
+    Weighted views (aggregated super-subscriptions) run the same logic
+    with demands in member units; with unit weights every quantity below
+    reduces to the original unweighted computation exactly.
     """
     m = view.num_subscribers
     num_targets = view.num_targets
-    caps = np.floor(view.beta * view.kappas_effective * m).astype(int)
+    wvec = np.ones(m) if view.weights is None \
+        else view.weights.astype(float)
+    caps = np.floor(view.beta * view.kappas_effective
+                    * float(wvec.sum())).astype(int)
     caps = np.maximum(caps, 1)
 
     # Per (broker, rect): which subscribers that broker covers via it.
@@ -159,10 +168,10 @@ def prune_redundant_rects(view: SLPView,
     cover_count = cover.sum(axis=0).astype(int)
 
     # Exclusive demand per broker: subscribers covered by it alone.
-    exclusive = np.zeros(num_targets, dtype=int)
+    exclusive = np.zeros(num_targets)
     solo = cover_count == 1
     if solo.any():
-        exclusive = (cover[:, solo]).sum(axis=1).astype(int)
+        exclusive = cover[:, solo].astype(float) @ wvec[solo]
 
     keep: list[np.ndarray] = [np.ones(len(f), dtype=bool) for f in filters]
     order = sorted(
@@ -185,12 +194,12 @@ def prune_redundant_rects(view: SLPView,
         # Subscribers dropping to a single coverer add exclusive demand
         # to that remaining broker; reject if any broker would overflow.
         dropping = np.flatnonzero(lost & (cover_count == 2))
-        increments = np.zeros(num_targets, dtype=int)
+        increments = np.zeros(num_targets)
         if len(dropping):
             remaining = cover[:, dropping].copy()
             remaining[i] = False
             new_solo_broker = remaining.argmax(axis=0)
-            np.add.at(increments, new_solo_broker, 1)
+            np.add.at(increments, new_solo_broker, wvec[dropping])
         if np.any(exclusive + increments > caps):
             continue
         # Aggregate guard: splitting every subscriber evenly among its
@@ -200,8 +209,8 @@ def prune_redundant_rects(view: SLPView,
         trial_cover[i] = without
         trial_count = cover_count.copy()
         trial_count[lost] -= 1
-        demand = trial_cover @ (1.0 / trial_count)
-        current_demand = cover @ (1.0 / cover_count)
+        demand = trial_cover @ (wvec / trial_count)
+        current_demand = cover @ (wvec / cover_count)
         limit = np.maximum(1.1 * caps, current_demand + 1e-9)
         if np.any(demand > limit):
             continue
@@ -209,7 +218,8 @@ def prune_redundant_rects(view: SLPView,
         cover[i] = without
         cover_count[lost] = trial_count[lost]
         exclusive += increments
-        exclusive[i] = int((cover[i] & (cover_count == 1)).sum())
+        exclusive[i] = float((cover[i] & (cover_count == 1)).astype(float)
+                             @ wvec)
     return [filters[i].take(np.flatnonzero(keep[i])) if keep[i].any()
             else RectSet.empty(view.subscriptions.dim)
             for i in range(len(filters))]
@@ -236,7 +246,11 @@ def filter_assign(view: SLPView, rng: np.random.Generator,
     g = min(config.initial_g, m)
     while g <= m and info["iterations"] < config.max_total_iterations:
         info["stages"] += 1
-        weights = np.ones(m)
+        # Reweighted-sampling weights; weighted views start from their
+        # member counts so heavy super-subscriptions enter the sample
+        # with the probability their members would have had.
+        weights = np.ones(m) if view.weights is None \
+            else view.weights.astype(float).copy()
         budget = max(1, math.ceil(config.iteration_factor * g
                                   * math.log(max(m / g, math.e))))
         budget = min(budget, config.max_stage_iterations)
@@ -288,7 +302,9 @@ def filter_assign(view: SLPView, rng: np.random.Generator,
                     # assignment; unrouted subscribers become violators so
                     # the reweighting steers future samples toward them.
                     with span("assign"):
-                        outcome = assign_subscriptions(view, pruned)
+                        outcome = assign_subscriptions(view, pruned) \
+                            if view.weights is None else \
+                            assign_subscriptions_weighted(view, pruned)
                     unrouted = outcome.info["unrouted"]
                     if outcome.feasible:
                         candidate.info["runtime_seconds"] = \

@@ -11,6 +11,10 @@ Three steps, mirroring Figure 1 of the paper:
 3. **Filter adjustment** (:mod:`.adjust`): tighten filters to at most
    ``alpha`` MEB clusters of the actually-assigned subscriptions.
 
+With ``aggregation`` set, step 1-2 run on super-subscriptions
+(:mod:`.aggregate`) and expand back to exact per-subscriber
+assignments — the scaling mode for ``m ~ 10^5``.
+
 The by-product ``fractional_bandwidth`` — the optimal LP fractional
 objective — is the paper's yardstick lower bound (Section IV-D).
 """
@@ -22,9 +26,11 @@ import time
 import numpy as np
 
 from ...perf.cache import geometry_cache
+from ...perf.fastlp import lp_workspace
 from ...perf.profiler import span
 from ..problem import SAProblem, SASolution
 from .adjust import adjust_filters
+from .aggregate import AggregationConfig, distribute_aggregated
 from .assign_flow import assign_subscriptions
 from .sampling import FilterAssignConfig, FilterAssignResult, filter_assign
 from .view import view_from_problem
@@ -33,7 +39,9 @@ __all__ = ["slp1"]
 
 
 def slp1(problem: SAProblem, *, seed: int = 0,
-         config: FilterAssignConfig | None = None) -> SASolution:
+         config: FilterAssignConfig | None = None,
+         aggregation: AggregationConfig | None = None,
+         lp_workers: int | None = None) -> SASolution:
     """Run SLP1 on a (one-level) SA problem.
 
     Also usable on a multi-level tree by treating every leaf as directly
@@ -41,36 +49,65 @@ def slp1(problem: SAProblem, *, seed: int = 0,
     :func:`repro.core.slp.multilevel.slp` is the intended multi-level
     driver.
 
-    The whole run shares one geometry cache, so the containment matrices
-    FilterGen, LPRelax, the coverage/prune passes, and the assignment
-    compute over the same rectangle sets are each computed once.
+    ``aggregation`` enables subscription aggregation (see
+    :mod:`.aggregate`); ``None`` keeps the exact unaggregated pipeline,
+    and so does an identity config (``max_group_size <= 1`` or a view
+    below ``min_subscribers``) — bit-for-bit.  ``lp_workers`` fans
+    decomposed LP blocks across a process pool.
+
+    The whole run shares one geometry cache and one LP workspace, so the
+    containment matrices FilterGen, LPRelax, the coverage/prune passes,
+    and the assignment compute over the same rectangle sets are each
+    computed once, and the LP solves share decomposition/memo state.
     """
     started = time.perf_counter()
     rng = np.random.default_rng(seed)
     view = view_from_problem(problem)
 
-    with geometry_cache() as cache:
-        preliminary: FilterAssignResult = filter_assign(view, rng, config)
-        with span("assign"):
-            outcome = assign_subscriptions(view, preliminary.filters)
+    with geometry_cache() as cache, lp_workspace(workers=lp_workers) as ws:
+        if aggregation is not None:
+            dist = distribute_aggregated(view, rng, config, aggregation)
+            target_of = dist.target_of
+            fractional = dist.fractional_objective
+            filter_assign_info = dist.preliminary.info
+            assignment_info = dist.outcome.info
+            achieved_beta = dist.outcome.achieved_beta
+            flow_feasible = dist.outcome.feasible
+            aggregation_info = dist.info
+        else:
+            preliminary: FilterAssignResult = filter_assign(view, rng, config)
+            with span("assign"):
+                outcome = assign_subscriptions(view, preliminary.filters)
+            target_of = outcome.target_of
+            fractional = preliminary.fractional_objective
+            filter_assign_info = preliminary.info
+            assignment_info = outcome.info
+            achieved_beta = outcome.achieved_beta
+            flow_feasible = outcome.feasible
+            aggregation_info = None
 
-        assignment = problem.tree.leaves[outcome.target_of]
+        assignment = problem.tree.leaves[target_of]
         with span("adjust"):
             filters = adjust_filters(problem, assignment, rng)
         cache_stats = cache.stats()
+        lp_stats = ws.stats()
 
+    info = {
+        "algorithm": "SLP1",
+        "runtime_seconds": time.perf_counter() - started,
+        "achieved_beta": achieved_beta,
+        "flow_feasible": flow_feasible,
+        "filter_assign": filter_assign_info,
+        "assignment": assignment_info,
+        "geometry_cache": cache_stats,
+        "lp_workspace": lp_stats,
+    }
+    if aggregation_info is not None:
+        info["aggregation"] = aggregation_info
     return SASolution(
         problem=problem,
         assignment=assignment,
         filters=filters,
-        fractional_bandwidth=preliminary.fractional_objective,
-        info={
-            "algorithm": "SLP1",
-            "runtime_seconds": time.perf_counter() - started,
-            "achieved_beta": outcome.achieved_beta,
-            "flow_feasible": outcome.feasible,
-            "filter_assign": preliminary.info,
-            "assignment": outcome.info,
-            "geometry_cache": cache_stats,
-        },
+        fractional_bandwidth=fractional,
+        info=info,
     )

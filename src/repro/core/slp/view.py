@@ -35,6 +35,11 @@ class SLPView:
     alpha: int
     beta: float
     beta_max: float
+    #: per-subscription weights (member counts of super-subscriptions);
+    #: ``None`` means every row is one real subscriber.  Load-balance
+    #: budgets (C3 and flow capacities) are expressed in weight units so
+    #: an aggregated view keeps exactly the caps of its expanded one.
+    weights: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         m = len(self.subscriptions)
@@ -45,6 +50,11 @@ class SLPView:
             raise ValueError("one network point per subscriber required")
         if self.kappas_effective.shape != (n,):
             raise ValueError("one capacity fraction per target required")
+        if self.weights is not None:
+            if self.weights.shape != (m,):
+                raise ValueError("one weight per subscription required")
+            if (self.weights <= 0).any():
+                raise ValueError("weights must be positive")
 
     @property
     def num_targets(self) -> int:
@@ -53,6 +63,13 @@ class SLPView:
     @property
     def num_subscribers(self) -> int:
         return len(self.subscriptions)
+
+    @property
+    def total_weight(self) -> float:
+        """Real subscribers represented: ``m_view`` when unweighted."""
+        if self.weights is None:
+            return float(len(self.subscriptions))
+        return float(self.weights.sum())
 
     def coverage(self, filters: list[RectSet]) -> np.ndarray:
         """``(n_targets, m_view)`` — target ``i`` covers subscriber ``j``.

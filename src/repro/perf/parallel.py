@@ -21,7 +21,24 @@ from typing import Any
 import numpy as np
 
 __all__ = ["BenchCell", "CellResult", "cell_matrix", "run_cells",
-           "spawn_cell_seeds"]
+           "run_tasks", "spawn_cell_seeds"]
+
+
+def run_tasks(fn: Any, tasks: Sequence[Any], *,
+              workers: int | None = None) -> list[Any]:
+    """Map a module-level function over tasks, serially or in a pool.
+
+    The generic sibling of :func:`run_cells` used by the LP workspace to
+    fan independent decomposed blocks out; results come back in task
+    order either way, so parallel runs are indistinguishable from serial
+    ones.  ``fn`` must be picklable (module-level) when ``workers > 1``.
+    """
+    task_list = list(tasks)
+    if workers is None or workers <= 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    max_workers = min(workers, len(task_list))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, task_list))
 
 
 @dataclass(frozen=True)

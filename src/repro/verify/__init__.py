@@ -10,7 +10,12 @@ property suite.  ``python -m repro verify`` drives all of it from the
 command line and exits nonzero on any violation.
 """
 
-from .corruption import corrupt_latency, corrupt_nesting
+from .corruption import (
+    corrupt_aggregation_drop,
+    corrupt_aggregation_split,
+    corrupt_latency,
+    corrupt_nesting,
+)
 from .invariants import (
     ALL_CHECKS,
     CHECK_ASSIGNMENT,
@@ -61,4 +66,6 @@ __all__ = [
     "problem_cases",
     "corrupt_nesting",
     "corrupt_latency",
+    "corrupt_aggregation_split",
+    "corrupt_aggregation_drop",
 ]

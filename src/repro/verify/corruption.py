@@ -8,6 +8,16 @@ solutions that are wrong in one precisely known way, so tests and the
   covers an assigned subscription (breaks the nesting condition);
 * :func:`corrupt_latency` — reassign one subscriber to a leaf whose
   path latency exceeds its budget ``(1 + D) * Delta_j``.
+
+The aggregation pipeline (:mod:`repro.core.slp.aggregate`) has its own
+checker, :func:`~repro.core.slp.aggregate.verify_aggregation`, and its
+own planted corruptions:
+
+* :func:`corrupt_aggregation_split` — recompute one super-subscription
+  rectangle from only part of its members (a wrong split), so the
+  rectangle no longer encloses the member union;
+* :func:`corrupt_aggregation_drop` — drop one member from a group's
+  member list, so expansion would silently lose a subscriber.
 """
 
 from __future__ import annotations
@@ -15,10 +25,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.problem import SAProblem, SASolution
+from ..core.slp.aggregate import Aggregation
+from ..core.slp.view import SLPView
 from ..geometry import RectSet
 from ..pubsub.filters import Filter
 
-__all__ = ["corrupt_nesting", "corrupt_latency"]
+__all__ = ["corrupt_nesting", "corrupt_latency",
+           "corrupt_aggregation_split", "corrupt_aggregation_drop"]
 
 
 def _shrunk(filt: Filter, factor: float) -> Filter:
@@ -79,3 +92,74 @@ def corrupt_latency(problem: SAProblem, solution: SASolution) -> SASolution:
         filters=dict(solution.filters),
         info={**solution.info, "corruption": "latency",
               "corrupted_subscriber": int(j)})
+
+
+def _aggregation_copy(aggregation: Aggregation,
+                      super_subs: RectSet | None = None) -> Aggregation:
+    return Aggregation(
+        labels=aggregation.labels.copy(),
+        members=[members.copy() for members in aggregation.members],
+        super_subs=super_subs if super_subs is not None else RectSet(
+            aggregation.super_subs.lo.copy(),
+            aggregation.super_subs.hi.copy(), validate=False),
+        network_points=aggregation.network_points.copy(),
+        weights=aggregation.weights.copy(),
+        feasible=aggregation.feasible.copy(),
+        is_identity=aggregation.is_identity,
+    )
+
+
+def corrupt_aggregation_split(view: SLPView,
+                              aggregation: Aggregation) -> Aggregation:
+    """Recompute one super-subscription rect from only half its members.
+
+    Simulates an aggregator bug where a group was split but its
+    rectangle kept pointing at only one fragment: the stored rect is no
+    longer the member-union MEB, so members fall outside their own
+    super-subscription and downstream nesting would silently break.
+    Prefers a multi-member group whose half-MEB genuinely differs; on
+    fully degenerate geometry it falls back to shifting the first
+    group's lower corner, which equally breaks MEB exactness.
+    """
+    if not aggregation.members:
+        raise ValueError("aggregation has no groups to corrupt")
+    new_lo = aggregation.super_subs.lo.copy()
+    new_hi = aggregation.super_subs.hi.copy()
+    for row, members in enumerate(aggregation.members):
+        if len(members) < 2:
+            continue
+        half = members[len(members) // 2:]
+        lo = view.subscriptions.lo[half].min(axis=0)
+        hi = view.subscriptions.hi[half].max(axis=0)
+        if (np.array_equal(lo, new_lo[row])
+                and np.array_equal(hi, new_hi[row])):
+            continue
+        new_lo[row] = lo
+        new_hi[row] = hi
+        return _aggregation_copy(
+            aggregation, RectSet(new_lo, new_hi, validate=False))
+    # Degenerate geometry: every half shares the full MEB.  Shifting the
+    # corner still breaks "rect == exact member-union MEB".
+    new_lo[0] = new_lo[0] - 1.0
+    return _aggregation_copy(
+        aggregation, RectSet(new_lo, new_hi, validate=False))
+
+
+def corrupt_aggregation_drop(view: SLPView,
+                             aggregation: Aggregation) -> Aggregation:
+    """Remove one member from a group's member list.
+
+    Simulates lossy expansion: the weights/labels still claim the
+    subscriber, but the member list — the thing expansion trusts — has
+    lost it, so the groups no longer partition the subscription set.
+    """
+    del view  # symmetry with corrupt_aggregation_split; unused
+    if not aggregation.members:
+        raise ValueError("aggregation has no groups to corrupt")
+    corrupted = _aggregation_copy(aggregation)
+    for row, members in enumerate(aggregation.members):
+        if len(members) >= 2:
+            corrupted.members[row] = members[:-1].copy()
+            return corrupted
+    corrupted.members[0] = corrupted.members[0][:0]
+    return corrupted

@@ -1,0 +1,265 @@
+"""Differential oracle for the persistent LP workspace (repro.perf.fastlp).
+
+The workspace's block decomposition must be *invisible*: on a
+block-diagonal model, the stitched solution must be byte-identical
+(sha256) to solving each block with cold public ``linprog`` and placing
+the pieces by hand — the same oracle discipline ``test_perf_fastlp.py``
+applies to the direct HiGHS path.  Memoization must return the identical
+object, single-component models must take the exact direct path, and
+``split_lp_blocks`` must recover a planted block structure.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.perf.fastlp import (
+    HIGHSPY_AVAILABLE,
+    LPWorkspace,
+    active_lp_workspace,
+    lp_workspace,
+    solve_bounded_lp,
+    split_lp_blocks,
+)
+from repro.perf.parallel import run_tasks
+
+
+def random_block(rng, num_vars=30, num_rows=40, density=0.3):
+    """One random feasible-by-construction box-bounded LP block."""
+    mask = rng.random((num_rows, num_vars)) < density
+    a = np.where(mask, rng.uniform(-1.0, 2.0, mask.shape), 0.0)
+    interior = rng.uniform(0.2, 0.8, num_vars)
+    b = a @ interior + rng.uniform(0.0, 0.5, num_rows)
+    cost = rng.uniform(-1.0, 1.0, num_vars)
+    return cost, a, b
+
+
+def block_diagonal_lp(seed, num_blocks=3):
+    """A planted block-diagonal LP with equal-sized (balanced) blocks."""
+    rng = np.random.default_rng(seed)
+    blocks = [random_block(rng) for _ in range(num_blocks)]
+    cost = np.concatenate([c for c, _a, _b in blocks])
+    a_ub = sparse.block_diag([a for _c, a, _b in blocks], format="csr")
+    b_ub = np.concatenate([b for _c, _a, b in blocks])
+    return blocks, cost, a_ub, b_ub
+
+
+def workspace(**kwargs):
+    """An LPWorkspace whose size floor admits the planted 90-col models.
+
+    The production floor (256 columns) reflects where decomposition
+    starts paying on real LPRelax models; the differential tests only
+    need the machinery to fire, not to win wall-clock.
+    """
+    ws = LPWorkspace(**kwargs)
+    ws.MIN_DECOMPOSE_COLS = 64
+    return ws
+
+
+def sha256(x):
+    return hashlib.sha256(np.ascontiguousarray(x).tobytes()).hexdigest()
+
+
+class TestSplitLpBlocks:
+    def test_recovers_planted_block_structure(self):
+        _blocks, _cost, a_ub, _b_ub = block_diagonal_lp(0)
+        num_blocks, row_labels, col_labels = split_lp_blocks(a_ub)
+        assert num_blocks == 3
+        # block_diag lays blocks out contiguously, and labels are
+        # assigned in discovery order, so both labelings are sorted.
+        assert (np.diff(row_labels) >= 0).all()
+        assert (np.diff(col_labels) >= 0).all()
+        assert np.bincount(row_labels).tolist() == [40, 40, 40]
+        assert np.bincount(col_labels).tolist() == [30, 30, 30]
+
+    def test_rows_and_columns_sharing_a_nonzero_join(self):
+        a = sparse.csr_matrix(np.array([[1.0, 0.0, 0.0],
+                                        [1.0, 1.0, 0.0],
+                                        [0.0, 0.0, 1.0]]))
+        num_blocks, row_labels, col_labels = split_lp_blocks(a)
+        assert num_blocks == 2
+        assert row_labels[0] == row_labels[1] == col_labels[0] \
+            == col_labels[1]
+        assert row_labels[2] == col_labels[2] != row_labels[0]
+
+    def test_zero_column_and_empty_row_are_singletons(self):
+        a = sparse.csr_matrix(np.array([[1.0, 0.0],
+                                        [0.0, 0.0]]))
+        num_blocks, row_labels, col_labels = split_lp_blocks(a)
+        assert num_blocks == 3
+        assert len({row_labels[1], col_labels[1],
+                    row_labels[0]}) == 3  # all distinct
+
+
+class TestDecomposedAgainstColdLinprog:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stitched_solution_is_byte_identical(self, seed):
+        # Oracle: solve each planted block with cold public linprog and
+        # stitch by hand; the workspace must produce those exact bytes.
+        blocks, cost, a_ub, b_ub = block_diagonal_lp(seed)
+        ws = workspace(memoize=False)
+        result = ws.solve(cost, a_ub, b_ub)
+        assert result.success
+        assert ws.stats()["decomposed_solves"] == 1
+        assert ws.stats()["blocks_solved"] == len(blocks)
+
+        expected_x = np.zeros(a_ub.shape[1])
+        fun_parts = []
+        offset = 0
+        for c, a, b in blocks:
+            ref = linprog(c, A_ub=sparse.csr_matrix(a), b_ub=b,
+                          bounds=(0.0, 1.0), method="highs")
+            assert ref.success
+            expected_x[offset:offset + len(c)] = ref.x
+            fun_parts.append(float(ref.fun))
+            offset += len(c)
+        expected_fun = float(np.asarray(fun_parts, dtype=np.float64).sum())
+
+        assert sha256(result.x) == sha256(expected_x)
+        assert result.fun == expected_fun
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_objective_matches_the_full_cold_solve(self, seed):
+        # Decomposition is exact in the objective; the full-model HiGHS
+        # solve agrees to float precision (iteration order may differ).
+        _blocks, cost, a_ub, b_ub = block_diagonal_lp(seed)
+        ws = workspace(memoize=False)
+        result = ws.solve(cost, a_ub, b_ub)
+        full = linprog(cost, A_ub=a_ub, b_ub=b_ub,
+                       bounds=(0.0, 1.0), method="highs")
+        assert full.success
+        assert result.fun == pytest.approx(full.fun, abs=1e-9)
+
+    def test_infeasible_block_fails_the_whole_model(self):
+        _blocks, cost, a_ub, b_ub = block_diagonal_lp(0)
+        bad = b_ub.copy()
+        # -x_0 <= -2 inside the unit box: block 0 becomes infeasible.
+        row = sparse.csr_matrix(
+            (np.array([-1.0]), (np.array([0]), np.array([0]))),
+            shape=(1, a_ub.shape[1]))
+        a_bad = sparse.vstack([a_ub, row], format="csr")
+        b_bad = np.concatenate([bad, [-2.0]])
+        result = workspace(memoize=False).solve(cost, a_bad, b_bad)
+        assert not result.success
+        assert result.status == 2
+
+
+class TestWorkspaceBehavior:
+    def test_memo_returns_the_identical_object(self):
+        _blocks, cost, a_ub, b_ub = block_diagonal_lp(1)
+        ws = LPWorkspace()
+        first = ws.solve(cost, a_ub, b_ub)
+        second = ws.solve(cost, a_ub, b_ub)
+        assert second is first
+        assert ws.stats()["memo_hits"] == 1
+        assert ws.stats()["solves"] == 2
+
+    def test_single_component_takes_the_exact_direct_path(self):
+        # A connected model must be bitwise what solve_bounded_lp gives.
+        rng = np.random.default_rng(7)
+        cost, a, b = random_block(rng, num_vars=80, num_rows=60,
+                                  density=0.5)
+        a_ub = sparse.csr_matrix(a)
+        num_blocks, _rows, _cols = split_lp_blocks(a_ub)
+        assert num_blocks == 1
+        ws = LPWorkspace(memoize=False)
+        result = ws.solve(cost, a_ub, b)
+        ref = solve_bounded_lp(cost, a_ub, b)
+        assert result.fun == ref.fun
+        assert np.array_equal(result.x, ref.x)
+        assert ws.stats()["decomposed_solves"] == 0
+
+    def test_small_models_skip_decomposition_bookkeeping(self):
+        rng = np.random.default_rng(3)
+        cost, a, b = random_block(rng, num_vars=10, num_rows=8)
+        ws = LPWorkspace(memoize=False)
+        assert ws.solve(cost, sparse.csr_matrix(a), b).success
+        assert ws.stats()["decomposed_solves"] == 0
+
+    def test_decompose_off_solves_whole_models(self):
+        _blocks, cost, a_ub, b_ub = block_diagonal_lp(2)
+        ws = LPWorkspace(decompose=False, memoize=False)
+        result = ws.solve(cost, a_ub, b_ub)
+        full = solve_bounded_lp(cost, a_ub, b_ub)
+        assert result.fun == full.fun
+        assert np.array_equal(result.x, full.x)
+
+    def test_context_manager_installs_and_restores(self):
+        assert active_lp_workspace() is None
+        with lp_workspace() as ws:
+            assert active_lp_workspace() is ws
+            with lp_workspace() as inner:   # nested: reuse, not replace
+                assert inner is ws
+            assert active_lp_workspace() is ws
+        assert active_lp_workspace() is None
+
+    def test_imbalanced_splits_are_solved_whole(self):
+        # One dominant block keeping most columns: decomposition would
+        # pay per-fragment overhead for almost no shrink, so the model
+        # must take the direct path (still exact, by the oracle above).
+        cost = np.concatenate([np.array([-0.5]), np.zeros(70)])
+        a = sparse.hstack(
+            [sparse.csr_matrix(np.ones((3, 1)) * 0.0),
+             sparse.csr_matrix(np.ones((3, 70)))], format="csr")
+        b = np.full(3, 100.0)
+        ws = workspace(memoize=False)
+        ws.MIN_DECOMPOSE_COLS = 8
+        result = ws.solve(cost, a, b)
+        assert result.success
+        assert ws.stats()["decomposed_solves"] == 0
+
+    def test_zero_column_variables_sit_at_their_cheap_bound(self):
+        # Two variables in no constraint plus two balanced constrained
+        # blocks and one empty (slack-only) row: every special-case
+        # branch of the decomposed stitch in one model.
+        cost = np.concatenate([np.array([-0.5, 0.5]), np.zeros(70)])
+        constrained = sparse.block_diag(
+            [np.ones((3, 35)), np.ones((3, 35))], format="csr")
+        a = sparse.vstack(
+            [sparse.hstack([sparse.csr_matrix((6, 2)), constrained]),
+             sparse.csr_matrix((1, 72))], format="csr")
+        b = np.concatenate([np.full(6, 100.0), [5.0]])
+        ws = workspace(memoize=False)
+        ws.MIN_DECOMPOSE_COLS = 8
+        result = ws.solve(cost, a, b)
+        assert result.success
+        assert ws.stats()["decomposed_solves"] == 1
+        assert result.x[0] == 1.0 and result.x[1] == 0.0
+        assert result.fun == pytest.approx(-0.5)
+        assert result.slack[-1] == 5.0
+
+    def test_empty_row_with_negative_rhs_is_infeasible(self):
+        # 0 <= -1 can never hold; the stitch must report infeasibility
+        # without invoking HiGHS on the degenerate fragment.
+        _blocks, cost, a_ub, b_ub = block_diagonal_lp(0)
+        a_bad = sparse.vstack(
+            [a_ub, sparse.csr_matrix((1, a_ub.shape[1]))], format="csr")
+        b_bad = np.concatenate([b_ub, [-1.0]])
+        result = workspace(memoize=False).solve(cost, a_bad, b_bad)
+        assert not result.success
+        assert result.status == 2
+
+
+def test_run_tasks_preserves_task_order():
+    tasks = [np.array([float(i)]) for i in range(6)]
+    serial = run_tasks(_double, tasks, workers=1)
+    assert [float(r[0]) for r in serial] == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+
+def _double(x):
+    return x * 2.0
+
+
+def test_highspy_gate_matches_the_environment():
+    # The container ships scipy's embedded HiGHS only; if highspy ever
+    # appears, the warm-start path activates and this canary flags the
+    # behavior change so the differential tests can be extended to it.
+    try:
+        import highspy  # noqa: F401
+        installed = True
+    except ImportError:
+        installed = False
+    assert HIGHSPY_AVAILABLE == installed

@@ -1,0 +1,118 @@
+"""End-to-end aggregation equivalence (the scaling mode's contract).
+
+Two guarantees, both on fixed seeds at small ``m`` where the exact
+pipeline is affordable:
+
+* **threshold 0 is bit-identical** — a disabled aggregation config
+  (``max_group_size=0``) returns before any RNG use and runs exactly
+  the unaggregated calls, so assignments *and* filters hash
+  (sha256-)equal to the plain pipeline, for SLP1 and multilevel SLP;
+* **aggregation is a bounded approximation** — forced aggregation
+  (groups of <= 8) still passes ``verify_solution`` and lands within
+  ``COST_BOUND`` of the exact pipeline's total bandwidth.  The bound is
+  empirical, not worst-case: measured ratios on these workloads span
+  0.92-1.40x (aggregation sometimes *wins* — the LP sees a smaller,
+  denser model), documented in DESIGN.md's approximation contract.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.slp import AggregationConfig, slp, slp1
+from repro.metrics import total_bandwidth
+from repro.verify import guaranteed_checks, verify_solution
+from repro.workloads import (
+    GoogleGroupsConfig,
+    generate_google_groups,
+    multilevel_problem,
+    one_level_problem,
+)
+
+DISABLED = AggregationConfig(max_group_size=0)
+FORCED = AggregationConfig(max_group_size=8, min_subscribers=1)
+
+#: Documented approximation bound: forced-aggregation total bandwidth
+#: stays within this factor of the exact pipeline on the fixed seeds.
+COST_BOUND = 1.5
+
+M = 300
+SEEDS = (1, 2)
+
+
+def one_level(seed):
+    workload = generate_google_groups(
+        seed, GoogleGroupsConfig(num_subscribers=M, num_brokers=10))
+    return one_level_problem(workload)
+
+
+def multilevel(seed):
+    workload = generate_google_groups(
+        seed, GoogleGroupsConfig(num_subscribers=M, num_brokers=10))
+    return multilevel_problem(workload, max_out_degree=4, seed=seed)
+
+
+def solution_digest(solution):
+    """sha256 over the assignment and every leaf filter's rectangles."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(solution.assignment,
+                                  dtype=np.int64).tobytes())
+    for node in sorted(solution.filters):
+        filt = solution.filters[node]
+        h.update(np.int64(node).tobytes())
+        h.update(np.ascontiguousarray(filt.rects.lo).tobytes())
+        h.update(np.ascontiguousarray(filt.rects.hi).tobytes())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_slp1_threshold_zero_is_bit_identical(seed):
+    problem = one_level(seed)
+    plain = slp1(problem, seed=seed)
+    disabled = slp1(problem, seed=seed, aggregation=DISABLED)
+    assert solution_digest(disabled) == solution_digest(plain)
+    assert disabled.fractional_bandwidth == plain.fractional_bandwidth
+    assert disabled.info["aggregation"]["identity"] is True
+
+
+def test_slp_threshold_zero_is_bit_identical():
+    seed = SEEDS[0]
+    problem = multilevel(seed)
+    plain = slp(problem, seed=seed)
+    disabled = slp(problem, seed=seed, aggregation=DISABLED)
+    assert solution_digest(disabled) == solution_digest(plain)
+    assert "aggregated_levels" not in disabled.info
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_aggregated_slp1_is_verified_and_cost_bounded(seed):
+    problem = one_level(seed)
+    exact = slp1(problem, seed=seed)
+    aggregated = slp1(problem, seed=seed, aggregation=FORCED)
+
+    report = verify_solution(problem, aggregated,
+                             guaranteed_checks("SLP1", aggregated))
+    assert report.ok, report.summary(5)
+    assert aggregated.info["aggregation"]["identity"] is False
+    assert aggregated.info["aggregation"]["compression"] > 1.0
+
+    ratio = total_bandwidth(aggregated.filters) \
+        / total_bandwidth(exact.filters)
+    assert ratio <= COST_BOUND, f"cost ratio {ratio:.4f} > {COST_BOUND}"
+
+
+def test_aggregated_slp_is_verified_and_cost_bounded():
+    seed = SEEDS[0]
+    problem = multilevel(seed)
+    exact = slp(problem, seed=seed)
+    aggregated = slp(problem, seed=seed, aggregation=FORCED)
+
+    report = verify_solution(problem, aggregated,
+                             guaranteed_checks("SLP", aggregated))
+    assert report.ok, report.summary(5)
+    assert aggregated.info.get("aggregated_levels", 0) >= 1
+
+    ratio = total_bandwidth(aggregated.filters) \
+        / total_bandwidth(exact.filters)
+    assert ratio <= COST_BOUND, f"cost ratio {ratio:.4f} > {COST_BOUND}"
