@@ -51,10 +51,14 @@ from .network import (
     default_world_regions,
 )
 from .pubsub import (
+    BruteForceMatcher,
     Filter,
     GridMatcher,
+    Matcher,
     PiecewiseUniformEvents,
+    RTreeMatcher,
     UniformEvents,
+    best_matcher,
     simulate_dissemination,
 )
 from .runtime import (
@@ -88,7 +92,9 @@ __all__ = [
     "Rect", "RectSet",
     "BrokerTree", "build_one_level_tree", "build_hierarchical_tree",
     "default_world_regions",
-    "Filter", "UniformEvents", "PiecewiseUniformEvents", "GridMatcher",
+    "Filter", "UniformEvents", "PiecewiseUniformEvents",
+    "Matcher", "BruteForceMatcher", "GridMatcher", "RTreeMatcher",
+    "best_matcher",
     "simulate_dissemination",
     "SAParameters", "SAProblem", "SASolution", "ValidationReport",
     "filters_from_assignment",

@@ -225,9 +225,13 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
     events = UniformEvents(workload.event_domain)
     rng = np.random.default_rng(args.seed)
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be at least 1", file=sys.stderr)
+        return 2
     result = simulate_dissemination(
         problem.tree, solution.filters, solution.assignment,
         problem.subscriptions, events, rng, num_events=args.events,
+        chunk_size=args.chunk_size,
         subscriber_points=problem.subscriber_points)
     analytic = total_bandwidth(solution.filters)
     empirical = result.empirical_bandwidth(workload.event_domain.volume())
@@ -240,6 +244,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
          ["analytic Q(T)", analytic],
          ["empirical Q(T)", empirical],
          ["empirical / analytic", empirical / analytic if analytic else 0]]))
+    if args.result_json:
+        result.dump(args.result_json,
+                    params={"algorithm": args.algorithm, "seed": args.seed,
+                            "chunk_size": args.chunk_size})
+        print(f"result written to {args.result_json}")
     return 1 if result.missed.sum() else 0
 
 
@@ -315,7 +324,8 @@ def _command_runtime(args: argparse.Namespace) -> int:
             link_loss=args.link_loss,
             fault_seed=args.seed,
             trace_events=args.trace_events,
-            max_duration=args.duration)
+            max_duration=args.duration,
+            epoch_batch=args.epoch_batch)
         plan = (FaultPlan(outages=tuple(args.crash),
                           failover_delay=args.failover_delay)
                 if args.crash or args.link_loss else None)
@@ -359,7 +369,9 @@ def _command_runtime(args: argparse.Namespace) -> int:
         result.telemetry.dump(args.telemetry_json)
         print(f"telemetry written to {args.telemetry_json}")
     if args.result_json:
-        result.dump(args.result_json)
+        result.dump(args.result_json,
+                    params={"algorithm": args.algorithm, "seed": args.seed,
+                            "epoch_batch": args.epoch_batch})
         print(f"result written to {args.result_json}")
     if result.aborted:
         print(f"error: run aborted at simulated time {result.duration:.6g} "
@@ -658,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--algorithm", default="Gr*",
                           choices=algorithm_names())
     simulate.add_argument("--events", type=int, default=4000)
+    simulate.add_argument("--chunk-size", type=int, default=512,
+                          help="events per vectorized chunk (1 = scalar "
+                               "stepping; results are identical)")
+    simulate.add_argument("--result-json", default=None, metavar="PATH",
+                          help="export the simulation result as JSON")
     simulate.set_defaults(handler=_command_simulate)
 
     dynamic = subparsers.add_parser(
@@ -676,6 +693,10 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--algorithm", default="Gr*",
                          choices=algorithm_names())
     runtime.add_argument("--events", type=int, default=2000)
+    runtime.add_argument("--epoch-batch", type=int, default=0,
+                         help="publish events per vectorized epoch "
+                              "(0 = scalar heap stepping; results are "
+                              "bit-identical)")
     runtime.add_argument("--publish-interval", type=float, default=1.0)
     runtime.add_argument("--service-time", type=float, default=0.0)
     runtime.add_argument("--queue-capacity", type=int, default=None)

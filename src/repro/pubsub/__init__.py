@@ -2,20 +2,23 @@
 
 from .events import EventDistribution, PiecewiseUniformEvents, UniformEvents
 from .filters import Filter
-from .matching import BruteForceMatcher, GridMatcher
+from .matching import BruteForceMatcher, GridMatcher, Matcher, best_matcher
 from .rtree import RTreeMatcher
-from .simulator import (SimulationResult, sample_event_stream,
-                        simulate_dissemination)
+from .simulator import (SimulationResult, root_first_order,
+                        sample_event_stream, simulate_dissemination)
 
 __all__ = [
     "Filter",
     "EventDistribution",
     "UniformEvents",
     "PiecewiseUniformEvents",
+    "Matcher",
     "BruteForceMatcher",
     "GridMatcher",
     "RTreeMatcher",
+    "best_matcher",
     "SimulationResult",
+    "root_first_order",
     "sample_event_stream",
     "simulate_dissemination",
 ]

@@ -1,7 +1,9 @@
 """Event-to-subscription matching.
 
 Leaf brokers must find, for each incoming event, the assigned subscribers
-whose subscription boxes contain the event point.  Two matchers:
+whose subscription boxes contain the event point.  Three matchers share
+the :class:`Matcher` protocol (``match_point`` for one event,
+``match_points`` for a batched event column):
 
 * :class:`BruteForceMatcher` — vectorized scan of every subscription;
   the oracle used in tests.
@@ -9,15 +11,45 @@ whose subscription boxes contain the event point.  Two matchers:
   stores the subscriptions intersecting it, so a lookup only scans one
   cell's list.  This is the standard content-based matching index for
   rectangle subscriptions and keeps the dissemination simulator fast.
+* :class:`~repro.pubsub.rtree.RTreeMatcher` — an STR-packed R-tree that
+  stays balanced under skewed subscription populations.
+
+:func:`best_matcher` picks among them with a deterministic heuristic, so
+the batch event plane (simulator, runtime epoch mode, serve broker) can
+ask for "the right index" instead of hard-coding one.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..geometry import Rect, RectSet
 
-__all__ = ["BruteForceMatcher", "GridMatcher"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .rtree import RTreeMatcher  # noqa: F401
+
+__all__ = ["Matcher", "BruteForceMatcher", "GridMatcher", "best_matcher"]
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """The matching-index contract shared by all event-plane consumers.
+
+    Implementations must agree with :class:`BruteForceMatcher` exactly
+    (the differential oracle in :mod:`repro.verify.oracles` enforces
+    this), including on boundary-touching points, empty subscription
+    sets, and zero-event batches.
+    """
+
+    def match_point(self, point: np.ndarray) -> np.ndarray:
+        """Ids of subscriptions containing the event point (sorted)."""
+        ...
+
+    def match_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(num_subscriptions, num_events)``."""
+        ...
 
 
 class BruteForceMatcher:
@@ -124,3 +156,56 @@ class GridMatcher:
             mask = self._subs.take(bucket).contains_points(pts[cell_events])
             out[np.ix_(bucket, cell_events)] = mask
         return out
+
+
+def best_matcher(subscriptions: RectSet, domain: Rect | None = None, *,
+                 resolution: int = 16, brute_force_max: int = 64,
+                 grid_cell_budget: float = 8.0,
+                 skew_cap: float = 0.25) -> Matcher:
+    """Pick the cheapest matching index for a subscription population.
+
+    The heuristic is deterministic and needs only O(n) vectorized work:
+
+    1. tiny populations (``n <= brute_force_max``) — a brute-force scan
+       beats any index once build cost is counted;
+    2. no usable event domain (``domain`` missing and the subscriptions'
+       minimum enclosing box is degenerate on some axis) — the grid
+       cannot be built, fall back to the R-tree;
+    3. fat subscriptions (average grid-cell span above
+       ``grid_cell_budget`` cells) — every bucket would hold nearly the
+       whole population, so the grid degenerates to brute force with
+       extra memory; use the R-tree;
+    4. hot-spot skew (more than ``skew_cap`` of all subscription centers
+       in one cell) — one bucket dominates; STR leaves stay balanced;
+    5. otherwise the uniform grid wins (its cell-grouped
+       ``match_points`` is the fastest batched probe we have).
+    """
+    from .rtree import RTreeMatcher  # local: avoids an import cycle
+
+    if resolution < 1:
+        raise ValueError("resolution must be at least 1")
+    n = len(subscriptions)
+    if n <= brute_force_max:
+        return BruteForceMatcher(subscriptions)
+    if domain is None:
+        meb = subscriptions.meb()
+        domain = meb if np.all(meb.widths > 0) else None
+    elif np.any(domain.widths <= 0):
+        domain = None
+    if domain is None:
+        return RTreeMatcher(subscriptions)
+
+    cell = domain.widths / resolution
+    spans = (subscriptions.hi - subscriptions.lo) / cell
+    cells_per_sub = np.prod(np.minimum(np.floor(spans) + 2, resolution),
+                            axis=1)
+    if float(cells_per_sub.mean()) > grid_cell_budget:
+        return RTreeMatcher(subscriptions)
+
+    rel = (subscriptions.centers() - domain.lo) / cell
+    coords = np.clip(rel.astype(int), 0, resolution - 1)
+    strides = resolution ** np.arange(domain.dim - 1, -1, -1)
+    _, counts = np.unique(coords @ strides, return_counts=True)
+    if int(counts.max()) > skew_cap * n:
+        return RTreeMatcher(subscriptions)
+    return GridMatcher(subscriptions, domain, resolution=resolution)

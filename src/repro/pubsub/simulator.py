@@ -29,9 +29,10 @@ from ..geometry import RectSet
 from ..network.tree import PUBLISHER, BrokerTree
 from .events import EventDistribution
 from .filters import Filter
+from .matching import Matcher, best_matcher
 
 __all__ = ["SimulationResult", "sample_event_stream", "simulate_dissemination",
-           "SIMULATION_SCHEMA_VERSION"]
+           "root_first_order", "SIMULATION_SCHEMA_VERSION"]
 
 #: Schema version stamped into JSON exports (matches the runtime's), so
 #: serve/runtime/bench outputs are uniformly parseable.
@@ -128,10 +129,17 @@ class SimulationResult:
             "delivery_rate": self.delivery_rate,
         }
 
-    def dump(self, path: str) -> None:
-        """Write :meth:`to_dict` plus the git/host provenance block."""
+    def dump(self, path: str, *,
+             params: dict[str, Any] | None = None) -> None:
+        """Write :meth:`to_dict` plus the git/host provenance block.
+
+        ``params`` (e.g. the CLI's ``--chunk-size``) is stamped into the
+        payload so the provenance records how the run was produced.
+        """
         from ..bench.harness import run_metadata  # lazy: avoids cycles
         payload = self.to_dict()
+        if params:
+            payload["params"] = dict(params)
         payload["metadata"] = run_metadata()
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -146,8 +154,20 @@ def simulate_dissemination(tree: BrokerTree,
                            rng: np.random.Generator,
                            num_events: int = 2000,
                            chunk_size: int = 512,
-                           subscriber_points: np.ndarray | None = None) -> SimulationResult:
+                           subscriber_points: np.ndarray | None = None,
+                           matcher: Matcher | None = None) -> SimulationResult:
     """Publish sampled events and measure traffic, deliveries, and misses.
+
+    The hot path is fully batched: each chunk's per-node entry masks come
+    from one stacked ``RectSet.contains_points`` call over every filter
+    rectangle (a segmented ``logical_or`` recovers per-filter masks), and
+    per-subscriber deliveries come from one ``matcher.match_points``
+    matrix instead of a brute-force scan per leaf.  Results are
+    bit-identical for any matcher that agrees with the brute-force
+    oracle and for any ``chunk_size`` (given a chunk-stable event
+    distribution): all counts are integer sums over the same boolean
+    matrices, and the latency total is computed once from the final
+    delivery counts.
 
     Parameters
     ----------
@@ -158,6 +178,10 @@ def simulate_dissemination(tree: BrokerTree,
     subscriber_points:
         Optional network positions of subscribers; when given, delivery
         latency includes the last hop from the leaf to the subscriber.
+    matcher:
+        Matching index used for delivery checks; defaults to
+        :func:`~repro.pubsub.matching.best_matcher` over the event
+        domain.
     """
     num_nodes = tree.num_nodes
     for node in range(1, num_nodes):
@@ -183,7 +207,24 @@ def simulate_dissemination(tree: BrokerTree,
     missed = np.zeros(num_subscribers, dtype=np.int64)
     total_latency = 0.0
 
-    order = _root_first_order(tree)
+    order = root_first_order(tree)
+    if subs_by_leaf and matcher is None:
+        matcher = best_matcher(subscriptions, distribution.domain)
+
+    # Stack every (non-empty) filter's rectangles into one RectSet so a
+    # chunk's containment against *all* filters is a single matrix op; a
+    # segmented logical_or then recovers each filter's any-rect mask.
+    stack_nodes = [node for node in order[1:] if not filters[node].is_empty()]
+    stacked: RectSet | None = None
+    if stack_nodes:
+        stacked = RectSet(
+            np.concatenate([filters[n].rects.lo for n in stack_nodes]),
+            np.concatenate([filters[n].rects.hi for n in stack_nodes]),
+            validate=False)
+        starts = np.cumsum([0] + [len(filters[n].rects)
+                                  for n in stack_nodes])[:-1]
+        stack_row = {node: i for i, node in enumerate(stack_nodes)}
+
     remaining = num_events
     while remaining > 0:
         batch = min(chunk_size, remaining)
@@ -192,18 +233,25 @@ def simulate_dissemination(tree: BrokerTree,
 
         entered = np.zeros((num_nodes, batch), dtype=bool)
         entered[PUBLISHER] = True
-        for node in order[1:]:
-            parent = int(tree.parents[node])
-            in_filter = filters[node].contains_points(events)
-            entered[node] = entered[parent] & in_filter
+        if stacked is not None:
+            in_filter = np.logical_or.reduceat(
+                stacked.contains_points(events), starts, axis=0)
+            for node in order[1:]:
+                row = stack_row.get(node)
+                if row is None:
+                    continue  # empty filter: the node never enters
+                parent = int(tree.parents[node])
+                entered[node] = entered[parent] & in_filter[row]
         node_entries += entered.sum(axis=1)
 
-        for leaf, members in subs_by_leaf.items():
-            member_subs = subscriptions.take(members)
-            matches = member_subs.contains_points(events)  # (members, batch)
-            delivered = matches & entered[leaf][None, :]
-            deliveries[members] += delivered.sum(axis=1)
-            missed[members] += (matches & ~entered[leaf][None, :]).sum(axis=1)
+        if subs_by_leaf:
+            match = matcher.match_points(events)  # (num_subscribers, batch)
+            for leaf, members in subs_by_leaf.items():
+                matches = match[members]
+                delivered = matches & entered[leaf][None, :]
+                deliveries[members] += delivered.sum(axis=1)
+                missed[members] += (matches
+                                    & ~entered[leaf][None, :]).sum(axis=1)
         # Matching events assigned to leaves their event never reached are
         # counted above; subscribers of *unassigned* leaves can't miss.
 
@@ -224,7 +272,8 @@ def simulate_dissemination(tree: BrokerTree,
                             total_delivery_latency=total_latency)
 
 
-def _root_first_order(tree: BrokerTree) -> list[int]:
+def root_first_order(tree: BrokerTree) -> list[int]:
+    """Node ids in a parent-before-child order (publisher first)."""
     order = [PUBLISHER]
     stack = [PUBLISHER]
     while stack:

@@ -46,7 +46,9 @@ from ..geometry import RectSet
 from ..network.tree import PUBLISHER, BrokerTree
 from ..pubsub.events import EventDistribution
 from ..pubsub.filters import Filter
-from ..pubsub.simulator import SimulationResult, sample_event_stream
+from ..pubsub.matching import Matcher, best_matcher
+from ..pubsub.simulator import (SimulationResult, root_first_order,
+                                sample_event_stream)
 from .telemetry import Telemetry
 
 __all__ = ["RuntimeConfig", "RuntimeResult", "DisseminationEngine",
@@ -73,8 +75,11 @@ class RuntimeConfig:
     fault_seed: int = 0             #: seed of the loss RNG (independent of events)
     trace_events: int = 0           #: record a trace span for the first N events
     max_duration: float | None = None  #: abort past this simulated time
+    epoch_batch: int = 0            #: publishes serviced per matrix step (0 = scalar)
 
     def __post_init__(self) -> None:
+        if self.epoch_batch < 0:
+            raise ValueError("epoch_batch must be non-negative")
         if self.publish_interval < 0:
             raise ValueError("publish_interval must be non-negative")
         if self.max_duration is not None and self.max_duration <= 0:
@@ -177,10 +182,17 @@ class RuntimeResult:
             "telemetry": self.telemetry.to_dict(),
         }
 
-    def dump(self, path: str) -> None:
-        """Write :meth:`to_dict` plus the provenance metadata block."""
+    def dump(self, path: str, *,
+             params: dict[str, Any] | None = None) -> None:
+        """Write :meth:`to_dict` plus the provenance metadata block.
+
+        ``params`` (e.g. the CLI's ``--epoch-batch``) is stamped into the
+        payload so the provenance records how the run was produced.
+        """
         from ..bench.harness import run_metadata
         payload = self.to_dict()
+        if params:
+            payload["params"] = dict(params)
         payload["metadata"] = run_metadata()
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -270,6 +282,19 @@ class DisseminationEngine:
         self._events: np.ndarray | None = None
         self._traces: list[Any] = []
 
+        # Epoch-mode machinery (see run()): a parent-before-child node
+        # order for level-wise matrix steps, a min-heap of pending
+        # control times (the epoch barriers), a watermark of publishes
+        # consumed by matrix blocks, and the per-(event, leaf) delivery
+        # latency groups accumulated in canonical order at run end so
+        # scalar and epoch stepping produce the identical float total.
+        self._order = root_first_order(tree)
+        self._pending_controls: list[float] = []
+        self._running = False
+        self._published_through = 0
+        self._delivery_groups: list[tuple[int, int, np.ndarray]] = []
+        self._epoch_matcher: Matcher | None = None
+
     # -- live state accessors ------------------------------------------------
 
     @property
@@ -321,8 +346,19 @@ class DisseminationEngine:
 
     def schedule(self, time: float,
                  action: Callable[["DisseminationEngine", float], None]) -> None:
-        """Schedule ``action(engine, time)`` as a control at a simulated time."""
-        self._controls.append((float(time), action))
+        """Schedule ``action(engine, time)`` as a control at a simulated time.
+
+        Valid both before and during :meth:`run`: a control scheduled
+        mid-run (e.g. a delayed failover repair) goes straight into the
+        live heap.  (Before this, mid-run controls landed in the pre-run
+        staging list — already drained — and silently never fired.)
+        """
+        time = float(time)
+        if self._running:
+            heapq.heappush(self._pending_controls, time)
+            self._push(time, _PRIO_CONTROL, action)
+        else:
+            self._controls.append((time, action))
 
     def schedule_crash(self, time: float, node: int) -> None:
         self._validate_broker(node)
@@ -383,9 +419,27 @@ class DisseminationEngine:
                                            chunk_size)
         for time, action in sorted(self._controls, key=lambda c: c[0]):
             self._push(time, _PRIO_CONTROL, action)
+            heapq.heappush(self._pending_controls, time)
         self._controls.clear()
         for k in range(num_events):
             self._push(k * self.config.publish_interval, _PRIO_PUBLISH, k)
+
+        # Epoch mode services contiguous publish runs as one matrix step.
+        # It engages only where a matrix step is provably equivalent to
+        # scalar stepping: instantaneous service, no backpressure, no
+        # link-loss RNG draws, strictly increasing publish times (then no
+        # arrival can ever find a broker busy, so queue state is trivial
+        # between control barriers).  Any other config runs fully scalar.
+        self._running = True
+        self._published_through = 0
+        epoch = (self.config.epoch_batch > 0
+                 and self.config.service_time == 0.0
+                 and self.config.queue_capacity is None
+                 and self.config.link_loss == 0.0
+                 and self.config.publish_interval > 0.0)
+        if epoch and self._epoch_matcher is None:
+            self._epoch_matcher = best_matcher(self._subscriptions,
+                                               distribution.domain)
 
         aborted = False
         max_duration = self.config.max_duration
@@ -401,15 +455,34 @@ class DisseminationEngine:
                 break
             self._now = max(self._now, time)
             if prio == _PRIO_CONTROL:
+                heapq.heappop(self._pending_controls)
                 payload(self, time)
             elif prio == _PRIO_PUBLISH:
-                self._publish(int(payload), time)
+                k = int(payload)
+                if k < self._published_through:
+                    continue  # consumed by an earlier epoch block
+                if epoch and k >= self.config.trace_events:
+                    self._publish_epoch(k)
+                else:
+                    self._publish(k, time)
+                    self._published_through = k + 1
             else:
                 node, event_idx, kind = payload
                 if kind == "arrive":
                     self._arrive(node, event_idx, time)
                 else:
                     self._serve(node, event_idx, time)
+        self._running = False
+
+        # Delivery latency accumulates in canonical (event, leaf) order —
+        # the scalar heap order and the epoch block order both reduce to
+        # this one sequence of float additions, which is what makes the
+        # two modes bit-identical (and histograms reproducible).
+        for _event, _leaf, latency in sorted(
+                self._delivery_groups, key=lambda g: (g[0], g[1])):
+            self._total_latency += float(latency.sum())
+            self.telemetry.histogram("delivery_latency").observe_many(latency)
+        self._delivery_groups.clear()
 
         for span in self.telemetry.open_spans():
             span.close(self._now)
@@ -454,6 +527,123 @@ class DisseminationEngine:
             self._traces.append(span)
 
         self._forward(PUBLISHER, k, time)
+
+    def _publish_epoch(self, k: int) -> None:
+        """Service a contiguous run of publishes as one matrix step.
+
+        Semantics and bit-identity: under the epoch preconditions every
+        action of event ``j`` happens at ``t_j = j * publish_interval``
+        plus a chain of hop latencies, so the exact per-node arrival
+        times of a whole candidate block are one level-wise matrix
+        recurrence (the identical float additions the scalar heap would
+        perform).  The block is cut to the longest prefix whose events
+        complete strictly *before* the next pending control time (and
+        within ``max_duration``), so crash/recover/churn barriers see
+        exactly the scalar engine's state.  Counts are the same boolean
+        matrices summed; latency groups enter the same canonical
+        accumulator as the scalar path.
+        """
+        config = self.config
+        tree = self.tree
+        end = min(k + config.epoch_batch, len(self._events))
+        t_vec = np.arange(k, end, dtype=np.int64) * config.publish_interval
+        arrive = np.empty((tree.num_nodes, len(t_vec)))
+        arrive[PUBLISHER] = t_vec
+        for node in self._order[1:]:
+            arrive[node] = (arrive[int(tree.parents[node])]
+                            + self._hop[node])
+        bound = arrive.max(axis=0)   # conservative: over all nodes
+        barrier = (self._pending_controls[0] if self._pending_controls
+                   else np.inf)
+        ok = bound < barrier
+        if config.max_duration is not None:
+            ok &= bound <= config.max_duration
+        n = len(ok) if bool(ok.all()) else int(np.argmin(ok))
+        if n == 0:
+            # The very next event straddles a barrier: step it scalar.
+            self._publish(k, float(t_vec[0]))
+            self._published_through = k + 1
+            return
+
+        pts = self._events[k:k + n]
+        t_vec = t_vec[:n]
+        arrive = arrive[:, :n]
+        self._node_entries[PUBLISHER] += n
+        self.telemetry.counter("events_published").inc(n)
+
+        match = self._epoch_matcher.match_points(pts)  # (m, n) bool
+        active = self._assignment >= 0
+        if active.any():
+            self._matched += (match & active[:, None]).sum(axis=1)
+
+        # Level-wise entry masks: an event arrives at a node iff it
+        # entered the (alive) parent and the node's filter contains it;
+        # arrivals at a crashed node are lost, not forwarded.
+        entered = np.zeros((tree.num_nodes, n), dtype=bool)
+        entered[PUBLISHER] = True
+        arrived_any = np.zeros((tree.num_nodes, n), dtype=bool)
+        entries = 0
+        lost = 0
+        for node in self._order[1:]:
+            parent = int(tree.parents[node])
+            if not entered[parent].any():
+                continue
+            arrived = entered[parent] & self._filters[node].contains_points(pts)
+            count = int(arrived.sum())
+            if count == 0:
+                continue
+            arrived_any[node] = arrived
+            if self._brokers[node].alive:
+                entered[node] = arrived
+                self._node_entries[node] += count
+                entries += count
+            else:
+                lost += count
+        if entries:
+            self.telemetry.counter("broker_entries").inc(entries)
+        if lost:
+            self.telemetry.counter("events_lost_crashed").inc(lost)
+
+        delivered_total = 0
+        for leaf in tree.leaves:
+            leaf = int(leaf)
+            col = entered[leaf]
+            if not col.any():
+                continue
+            members = np.flatnonzero(self._assignment == leaf)
+            if len(members) == 0:
+                continue
+            delivered = match[members] & col[None, :]
+            counts = delivered.sum(axis=1)
+            self._deliveries[members] += counts
+            if not counts.any():
+                continue
+            delivered_total += int(counts.sum())
+            hop = None
+            if self._subscriber_points is not None:
+                hop = np.linalg.norm(
+                    tree.positions[leaf] - self._subscriber_points[members],
+                    axis=1)
+            for i in range(n):
+                mask = delivered[:, i]
+                receivers = int(mask.sum())
+                if receivers == 0:
+                    continue
+                latency = np.full(receivers,
+                                  float(arrive[leaf, i]) - float(t_vec[i]))
+                if hop is not None:
+                    latency = latency + hop[mask]
+                self._delivery_groups.append((k + i, leaf, latency))
+        if delivered_total:
+            self.telemetry.counter("deliveries").inc(delivered_total)
+
+        # Advance the clock to the block's last *processed* action: the
+        # final publish, or the latest arrival that actually happened.
+        completion = float(t_vec[-1])
+        if arrived_any.any():
+            completion = max(completion, float(arrive[arrived_any].max()))
+        self._now = max(self._now, completion)
+        self._published_through = k + n
 
     def _forward(self, node: int, k: int, time: float) -> None:
         """Send event ``k`` from ``node`` to each matching child."""
@@ -526,9 +716,9 @@ class DisseminationEngine:
             latency = latency + np.linalg.norm(
                 self.tree.positions[leaf] - self._subscriber_points[receivers],
                 axis=1)
-        self._total_latency += float(latency.sum())
+        # Accumulated at run end in canonical (event, leaf) order; see run().
+        self._delivery_groups.append((k, leaf, latency))
         self.telemetry.counter("deliveries").inc(len(receivers))
-        self.telemetry.histogram("delivery_latency").observe_many(latency)
         if k < self.config.trace_events:
             span = self._traces[k]
             span.attributes["deliveries"] += len(receivers)

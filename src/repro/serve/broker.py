@@ -33,7 +33,7 @@ from ..core.problem import SAProblem
 from ..dynamic.manager import DynamicPubSub
 from ..network.tree import PUBLISHER, BrokerTree
 from ..pubsub.filters import Filter
-from ..pubsub.matching import BruteForceMatcher
+from ..pubsub.matching import best_matcher
 
 __all__ = ["DeliveryQueue", "RoutingTable", "LiveBroker"]
 
@@ -73,6 +73,16 @@ class DeliveryQueue:
         if self.closed and self._queue.empty():
             return _CLOSE
         return await self._queue.get()
+
+    def get_nowait(self) -> Any:
+        """Next already-queued item (for micro-batched draining).
+
+        Raises :class:`asyncio.QueueEmpty` when nothing is pending; may
+        return the close sentinel (check :meth:`is_close`).
+        """
+        if self.closed and self._queue.empty():
+            return _CLOSE
+        return self._queue.get_nowait()
 
     @staticmethod
     def is_close(item: Any) -> bool:
@@ -123,6 +133,33 @@ class RoutingTable:
                     stack.append(child)
         return entered, reached
 
+    def route_batch(self, points: np.ndarray
+                    ) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+        """Batched :meth:`route`: walk the tree once with surviving masks.
+
+        Returns ``(entered, reached)`` — each a mapping from node id to
+        a boolean column over the event batch.  Equivalent to calling
+        :meth:`route` per point, but each edge costs one vectorized
+        filter containment over the surviving events.
+        """
+        pts = np.asarray(points, dtype=float)
+        entered: dict[int, np.ndarray] = {}
+        reached: dict[int, np.ndarray] = {}
+        stack: list[tuple[int, np.ndarray]] = [
+            (PUBLISHER, np.ones(pts.shape[0], dtype=bool))]
+        while stack:
+            node, mask = stack.pop()
+            for child in self.tree.children(node):
+                sub = mask & self.filters[child].contains_points(pts)
+                if not sub.any():
+                    continue
+                entered[child] = sub
+                if self.tree.is_leaf(child):
+                    reached[child] = sub
+                else:
+                    stack.append((child, sub))
+        return entered, reached
+
 
 class LiveBroker:
     """The live service state machine behind the gateway.
@@ -138,7 +175,9 @@ class LiveBroker:
                  seed: int = 0):
         self._problem = problem
         self._manager = DynamicPubSub(problem, seed=seed)
-        self._matcher = BruteForceMatcher(problem.subscriptions)
+        # The population is fixed (subscribers churn by activation, not
+        # by changing boxes), so the index can be chosen once up front.
+        self._matcher = best_matcher(problem.subscriptions)
         self._queue_capacity = queue_capacity
         self._queues: dict[int, DeliveryQueue] = {}
 
@@ -260,6 +299,66 @@ class LiveBroker:
         return {"matched": int(len(matched)), "delivered": delivered,
                 "dropped": dropped,
                 "missed": int(len(matched)) - delivered - dropped}
+
+    def publish_batch(self, points: Any, *, sent_at: float | None = None,
+                      event_ids: list[Any] | None = None) -> dict[str, int]:
+        """Route a batch of events through one routing-table snapshot.
+
+        Counts are exactly the sum of per-event :meth:`publish` calls,
+        but the whole batch pays one batched tree walk
+        (:meth:`RoutingTable.route_batch`) and one ``match_points``
+        matrix instead of a Python loop per event.  Being synchronous,
+        the batch is atomic with respect to churn from the event loop's
+        point of view — it reads a single table snapshot.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.size == 0:
+            pts = pts.reshape(0, self._problem.event_dim)
+        if pts.ndim != 2 or pts.shape[1] != self._problem.event_dim:
+            raise ValueError(f"event points must have shape (n, "
+                             f"{self._problem.event_dim}), got {pts.shape}")
+        if not np.all(np.isfinite(pts)):
+            raise ValueError("event point coordinates must be finite")
+        if event_ids is not None and len(event_ids) != pts.shape[0]:
+            raise ValueError("need one event id per point")
+
+        table = self._routing
+        num_events = pts.shape[0]
+        entered, reached = table.route_batch(pts)
+        self.node_entries[PUBLISHER] += num_events
+        for node, mask in entered.items():
+            self.node_entries[node] += int(mask.sum())
+        self.published += num_events
+
+        match = self._matcher.match_points(pts)  # (m, num_events)
+        assignment = table.assignment
+        match &= (assignment >= 0)[:, None]
+        matched_total = int(match.sum())
+        delivered = 0
+        dropped = 0
+        for i in range(num_events):
+            event_id = event_ids[i] if event_ids is not None else None
+            for j in np.flatnonzero(match[:, i]):
+                j = int(j)
+                leaf_mask = reached.get(int(assignment[j]))
+                if leaf_mask is None or not leaf_mask[i]:
+                    self.missed += 1
+                    continue
+                queue = self._queues.get(j)
+                if queue is None:  # unsubscribed after the snapshot
+                    self.missed += 1
+                    continue
+                if queue.offer((pts[i], sent_at, event_id)):
+                    self.deliveries[j] += 1
+                    delivered += 1
+                else:
+                    self.drops[j] += 1
+                    dropped += 1
+        self.matched += matched_total
+        return {"matched": matched_total, "delivered": delivered,
+                "dropped": dropped,
+                "missed": matched_total - delivered - dropped,
+                "events": num_events}
 
     # -- re-optimization -----------------------------------------------------
 

@@ -128,3 +128,16 @@ class ServeClient:
         if event_id is not None:
             fields["eventId"] = event_id
         return await self.request("publish", **fields)
+
+    async def publish_batch(self, points: Any, *,
+                            sent_at: float | None = None,
+                            event_ids: list[Any] | None = None
+                            ) -> dict[str, Any]:
+        """Publish an event column in one frame (batched matching)."""
+        fields: dict[str, Any] = {
+            "points": [[float(x) for x in point] for point in points]}
+        if sent_at is not None:
+            fields["sentAt"] = sent_at
+        if event_ids is not None:
+            fields["eventIds"] = list(event_ids)
+        return await self.request("publish_batch", **fields)

@@ -9,10 +9,14 @@ over a flaky connection cannot double-apply a mutation.  Replies echo
 the request's correlation ``id`` so one connection can pipeline
 requests; pushed events are distinguished by ``"type": "event"``.
 
-The protocol is intentionally tiny: five ops, two error shapes, one
+The protocol is intentionally tiny: six ops, two error shapes, one
 frame format.  Validation failures never kill the connection — the
 gateway answers with an error reply and keeps reading, because the
 newline framing stays in sync even after a garbage line.
+
+``publish_batch`` is the batched twin of ``publish``: one frame carries
+an event *column* (a list of points) that the broker routes and matches
+with one matrix step, returning the aggregate counts.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ __all__ = [
     "decode_frame",
     "read_frame",
     "write_frame",
+    "write_frames",
     "reply",
     "error_reply",
     "event_message",
@@ -46,7 +51,8 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 1 << 20
 
 #: Ops that change broker state and therefore honour idempotency keys.
-MUTATING_OPS = frozenset({"subscribe", "unsubscribe", "publish"})
+MUTATING_OPS = frozenset({"subscribe", "unsubscribe", "publish",
+                          "publish_batch"})
 
 #: Every op the gateway understands.
 ALL_OPS = MUTATING_OPS | {"stats", "ping"}
@@ -99,6 +105,14 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
 async def write_frame(writer: asyncio.StreamWriter,
                       payload: dict[str, Any]) -> None:
     writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+async def write_frames(writer: asyncio.StreamWriter,
+                       payloads: list[dict[str, Any]]) -> None:
+    """Write a run of frames with a single flush (micro-batched pumps)."""
+    for payload in payloads:
+        writer.write(encode_frame(payload))
     await writer.drain()
 
 

@@ -30,8 +30,10 @@ from .invariants import (
 )
 from .oracles import (
     OracleReport,
+    epoch_runtime_oracle,
     matcher_oracle,
     runtime_oracle,
+    simulator_batch_oracle,
     solution_oracles,
     volume_oracle,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "matcher_oracle",
     "volume_oracle",
     "runtime_oracle",
+    "simulator_batch_oracle",
+    "epoch_runtime_oracle",
     "solution_oracles",
     "EVENT_DOMAIN",
     "STRATEGY_NAMES",

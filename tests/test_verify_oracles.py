@@ -120,7 +120,8 @@ class TestSolutionOracles:
                                    seed=3, num_events=200,
                                    mc_samples=60_000)
         names = [r.name for r in reports]
-        assert names == ["matcher", "volume", "runtime"]
+        assert names == ["matcher", "volume", "runtime",
+                         "simulator-batch", "runtime-epoch"]
         for report in reports:
             assert report.agree, str(report)
 
