@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Shard-scale throughput of the event plane (Fig-7 workload).
+
+Runs the same seeded epoch-mode dissemination through ``shards=1`` and
+sharded configurations, asserting sha256 bit-identity of every merged
+result against the single-process payload before any timing counts —
+a sharding that changes answers is a bug, not a win.
+
+Two speedups are recorded per shard count:
+
+* ``wall`` — end-to-end elapsed time.  On a single-core host the
+  worker processes serialize, so wall speedup cannot exceed 1; the
+  wall gate therefore only arms when the host has >= 2 cores.
+* ``critical`` — single-process elapsed over the *slowest shard's*
+  compute time (the parallel critical path).  This is the speedup a
+  host with >= ``shards`` cores realizes, measured even on one core
+  because every shard's work is timed independently.  The committed
+  baseline records ``cpu_count`` so readers can interpret the wall
+  numbers.
+
+Emits a ``BENCH_shard_scale.json`` payload in the profile-payload
+shape (``total_seconds`` / ``calibration_seconds`` / ``stages``) for
+the perf-regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scale.py \
+        --json benchmarks/baselines/BENCH_shard_scale.json    # record
+    PYTHONPATH=src python benchmarks/bench_shard_scale.py \
+        --check-against benchmarks/baselines/BENCH_shard_scale.json
+
+Exit codes: 2 = bit-identity violated, 3 = perf regression vs the
+baseline, 4 = over ``--time-budget``, 5 = speedup under
+``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    GoogleGroupsConfig,
+    RuntimeConfig,
+    UniformEvents,
+    generate_google_groups,
+    get_algorithm,
+    one_level_problem,
+    run_dissemination,
+)
+from repro.bench.harness import run_metadata
+from repro.bench.tables import format_table
+from repro.perf.regression import calibrate, check_regression
+
+SUBSCRIBERS = 1500
+BROKERS = 16
+SEED = 7
+ALGORITHM = "Gr*"
+DEFAULT_EVENTS = 6000
+SHARD_COUNTS = (2, 4)
+EPOCH_BATCH = 512
+
+
+def sha(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def build_instance():
+    config = GoogleGroupsConfig(num_subscribers=SUBSCRIBERS,
+                                num_brokers=BROKERS,
+                                interest_skew="H", broad_interests="L")
+    workload = generate_google_groups(SEED, config)
+    problem = one_level_problem(workload)
+    solution = get_algorithm(ALGORITHM)(problem)
+    return workload, problem, solution
+
+
+def run_sharded(problem, solution, distribution, events, shards):
+    started = time.perf_counter()
+    shard_run = run_dissemination(
+        problem, distribution, np.random.default_rng(SEED), events,
+        config=RuntimeConfig(epoch_batch=EPOCH_BATCH), shards=shards,
+        filters=solution.filters, assignment=solution.assignment)
+    return time.perf_counter() - started, shard_run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the BENCH_shard_scale payload here")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="compare against a committed payload; exit 3 "
+                             "on regression")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="allowed normalized growth per stage")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required critical-path speedup at the highest "
+                             "shard count (exit 5 when missed); the wall "
+                             "gate arms at >= 2 cores")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit 4 when the sweep exceeds this wall-clock")
+    args = parser.parse_args(argv)
+
+    calibration = calibrate()
+    workload, problem, solution = build_instance()
+    distribution = UniformEvents(workload.event_domain)
+    events = args.events
+    cpu_count = os.cpu_count() or 1
+
+    stages = []
+    sweep_started = time.perf_counter()
+
+    def record(name, seconds, extra=None):
+        stage = {"name": name, "calls": 1, "seconds": seconds,
+                 "events_per_sec": events / seconds if seconds else 0.0}
+        stage.update(extra or {})
+        stages.append(stage)
+        print(f"{name}: {seconds:.2f}s "
+              f"({stage['events_per_sec']:,.0f} events/s)", flush=True)
+        return stage
+
+    single_s, single = run_sharded(problem, solution, distribution, events, 1)
+    single_sha = sha(single.result.to_dict())
+    record("shard-1", single_s, {"shards": 1, "critical_seconds": single_s})
+
+    speedups = {}
+    for shards in SHARD_COUNTS:
+        wall_s, shard_run = run_sharded(problem, solution, distribution,
+                                        events, shards)
+        if sha(shard_run.result.to_dict()) != single_sha:
+            print(f"error: shard-{shards} is not bit-identical to the "
+                  f"single-process run", file=sys.stderr)
+            return 2
+        critical = max(shard_run.shard_seconds)
+        record(f"shard-{shards}", wall_s,
+               {"shards": shards, "workers": shard_run.workers,
+                "critical_seconds": critical,
+                "shard_seconds": list(shard_run.shard_seconds)})
+        speedups[shards] = {"wall": single_s / wall_s,
+                            "critical": single_s / critical}
+        print(f"  wall {speedups[shards]['wall']:.2f}x, "
+              f"critical-path {speedups[shards]['critical']:.2f}x")
+    sweep_elapsed = time.perf_counter() - sweep_started
+
+    top = max(SHARD_COUNTS)
+    payload = {
+        "benchmark": "shard_scale",
+        "workload": "googlegroups",
+        "algorithm": ALGORITHM,
+        "subscribers": SUBSCRIBERS,
+        "brokers": BROKERS,
+        "seed": SEED,
+        "events": events,
+        "epoch_batch": EPOCH_BATCH,
+        "cpu_count": cpu_count,
+        "speedups": {str(s): v for s, v in sorted(speedups.items())},
+        "critical_speedup": speedups[top]["critical"],
+        "wall_speedup": speedups[top]["wall"],
+        "bit_identical": True,
+        "total_seconds": sum(s["seconds"] for s in stages),
+        "calibration_seconds": calibration,
+        "stages": stages,
+        "metadata": run_metadata(),
+    }
+
+    print(format_table(
+        ["stage", "wall(s)", "critical(s)", "normalized", "events/s"],
+        [[s["name"], round(s["seconds"], 3),
+          round(s["critical_seconds"], 3),
+          round(s["seconds"] / calibration, 1),
+          f"{s['events_per_sec']:,.0f}"] for s in stages]))
+    print(f"critical-path speedup at {top} shards: "
+          f"{payload['critical_speedup']:.2f}x "
+          f"(wall {payload['wall_speedup']:.2f}x on {cpu_count} cores; "
+          f"all sharded payloads sha256-identical to shards=1)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"payload written to {args.json}")
+
+    status = 0
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regression = check_regression(payload, baseline,
+                                      tolerance=args.tolerance)
+        print(format_table(
+            ["stage", "baseline(norm)", "current(norm)", "ratio", "verdict"],
+            [comparison.as_row() for comparison in regression.comparisons]))
+        if not regression.ok:
+            print("perf regression: "
+                  + ", ".join(regression.regressed_stages), file=sys.stderr)
+            status = 3
+
+    if args.time_budget is not None and sweep_elapsed > args.time_budget:
+        print(f"error: sweep took {sweep_elapsed:.1f}s, over the "
+              f"--time-budget gate ({args.time_budget:.1f}s)",
+              file=sys.stderr)
+        status = 4
+
+    if payload["critical_speedup"] < args.min_speedup:
+        print(f"error: critical-path speedup at {top} shards "
+              f"({payload['critical_speedup']:.2f}x) is under the "
+              f"--min-speedup gate ({args.min_speedup:.1f}x)",
+              file=sys.stderr)
+        status = 5
+    if cpu_count >= 2:
+        # With real parallel hardware the wall clock must realize at
+        # least half the ideal speedup of min(shards, cores) workers.
+        required = 0.5 * min(top, cpu_count)
+        if payload["wall_speedup"] < required:
+            print(f"error: wall speedup at {top} shards "
+                  f"({payload['wall_speedup']:.2f}x) is under the "
+                  f"calibrated gate ({required:.1f}x on {cpu_count} cores)",
+                  file=sys.stderr)
+            status = 5
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

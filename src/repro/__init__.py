@@ -73,6 +73,14 @@ from .runtime import (
     apply_fault_plan,
     replay_churn,
 )
+from .shard import (
+    ShardPlan,
+    ShardRun,
+    plan_shards,
+    replan_shards,
+    run_dissemination,
+    simulate_sharded,
+)
 from .workloads import (
     GoogleGroupsConfig,
     GridConfig,
@@ -107,6 +115,8 @@ __all__ = [
     "DisseminationEngine", "RuntimeConfig", "RuntimeResult",
     "BrokerOutage", "FaultPlan", "GreedyFailover", "apply_fault_plan",
     "ReplayConfig", "replay_churn", "Telemetry",
+    "ShardPlan", "ShardRun", "plan_shards", "replan_shards",
+    "run_dissemination", "simulate_sharded",
     "Workload", "one_level_problem", "multilevel_problem",
     "GoogleGroupsConfig", "generate_google_groups",
     "RssConfig", "generate_rss", "GridConfig", "generate_grid",

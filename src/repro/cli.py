@@ -88,15 +88,12 @@ from .metrics import evaluate_solution, runtime_report_rows, total_bandwidth
 from .perf.cache import geometry_cache
 from .perf.profiler import profiled
 from .perf.regression import calibrate, check_regression
-from .pubsub import UniformEvents, simulate_dissemination
+from .pubsub import UniformEvents
 from .runtime import (
     BrokerOutage,
-    DisseminationEngine,
     FaultPlan,
     ReplayConfig,
     RuntimeConfig,
-    apply_fault_plan,
-    replay_churn,
 )
 from .serve import (
     LoadGenConfig,
@@ -105,6 +102,7 @@ from .serve import (
     run_loadgen,
     write_loadgen_json,
 )
+from .shard import run_dissemination, simulate_sharded
 from .verify import (
     ALL_CHECKS,
     corrupt_latency,
@@ -228,11 +226,14 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if args.chunk_size < 1:
         print("error: --chunk-size must be at least 1", file=sys.stderr)
         return 2
-    result = simulate_dissemination(
-        problem.tree, solution.filters, solution.assignment,
-        problem.subscriptions, events, rng, num_events=args.events,
-        chunk_size=args.chunk_size,
-        subscriber_points=problem.subscriber_points)
+    try:
+        result, _plan = simulate_sharded(
+            problem, solution.filters, solution.assignment, events, rng,
+            args.events, shards=args.shards, workers=args.shard_workers,
+            chunk_size=args.chunk_size)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     analytic = total_bandwidth(solution.filters)
     empirical = result.empirical_bandwidth(workload.event_domain.volume())
     print(format_table(
@@ -247,7 +248,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if args.result_json:
         result.dump(args.result_json,
                     params={"algorithm": args.algorithm, "seed": args.seed,
-                            "chunk_size": args.chunk_size})
+                            "chunk_size": args.chunk_size,
+                            "shards": args.shards})
         print(f"result written to {args.result_json}")
     return 1 if result.missed.sum() else 0
 
@@ -334,44 +336,44 @@ def _command_runtime(args: argparse.Namespace) -> int:
         return 2
 
     try:
+        trace = None
+        replay_config = None
         if args.churn_horizon > 0:
             trace = generate_churn_trace(
                 problem.num_subscribers, args.churn_horizon,
                 np.random.default_rng(args.seed),
                 initial_active_fraction=args.initial_fraction,
                 arrival_rate=args.churn_rate, departure_rate=args.churn_rate)
-            result, _system = replay_churn(
-                problem, trace, events, rng, args.events,
-                engine_config=config,
-                replay_config=ReplayConfig(reopt_every=args.reopt_every,
-                                           reopt_algorithm=args.algorithm,
-                                           reopt_seed=args.seed),
-                fault_plan=plan, failover=not args.no_failover)
-        else:
-            engine = DisseminationEngine(
-                problem.tree, solution.filters, solution.assignment,
-                problem.subscriptions, config=config,
-                subscriber_points=problem.subscriber_points)
-            if plan is not None:
-                apply_fault_plan(engine, plan,
-                                 problem if not args.no_failover else None,
-                                 failover=not args.no_failover)
-            result = engine.run(events, rng, args.events)
+            replay_config = ReplayConfig(reopt_every=args.reopt_every,
+                                         reopt_algorithm=args.algorithm,
+                                         reopt_seed=args.seed)
+        run = run_dissemination(
+            problem, events, rng, args.events, config=config,
+            shards=args.shards, workers=args.shard_workers,
+            filters=None if trace is not None else solution.filters,
+            assignment=None if trace is not None else solution.assignment,
+            fault_plan=plan, failover=not args.no_failover,
+            trace=trace, replay_config=replay_config,
+            manager_seed=args.seed)
+        result = run.result
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(format_table(
-        ["metric", "value"],
-        runtime_report_rows(result,
-                            domain_measure=workload.event_domain.volume())))
+    rows = runtime_report_rows(result,
+                               domain_measure=workload.event_domain.volume())
+    if run.plan is not None:
+        rows.append(["shards", run.plan.num_shards])
+        rows.append(["shard workers", run.workers])
+    print(format_table(["metric", "value"], rows))
     if args.telemetry_json:
         result.telemetry.dump(args.telemetry_json)
         print(f"telemetry written to {args.telemetry_json}")
     if args.result_json:
         result.dump(args.result_json,
                     params={"algorithm": args.algorithm, "seed": args.seed,
-                            "epoch_batch": args.epoch_batch})
+                            "epoch_batch": args.epoch_batch,
+                            "shards": args.shards})
         print(f"result written to {args.result_json}")
     if result.aborted:
         print(f"error: run aborted at simulated time {result.duration:.6g} "
@@ -515,7 +517,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         reopt_threshold=args.reopt_threshold,
         reopt_poll_interval=args.reopt_poll,
-        reopt_algorithm=args.reopt_algorithm)
+        reopt_algorithm=args.reopt_algorithm,
+        shards=args.shards)
     daemon = ServeDaemon(problem, config)
 
     async def _serve() -> None:
@@ -673,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--chunk-size", type=int, default=512,
                           help="events per vectorized chunk (1 = scalar "
                                "stepping; results are identical)")
+    simulate.add_argument("--shards", type=int, default=1,
+                          help="partition subscribers into N subgroups and "
+                               "simulate them in parallel (bit-identical "
+                               "to --shards 1)")
+    simulate.add_argument("--shard-workers", type=int, default=None,
+                          metavar="W", help="worker processes for sharded "
+                          "runs (default: min(shards, cores))")
     simulate.add_argument("--result-json", default=None, metavar="PATH",
                           help="export the simulation result as JSON")
     simulate.set_defaults(handler=_command_simulate)
@@ -715,6 +725,15 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--churn-rate", type=float, default=10.0)
     runtime.add_argument("--initial-fraction", type=float, default=0.5)
     runtime.add_argument("--reopt-every", type=int, default=0)
+    runtime.add_argument("--shards", type=int, default=1,
+                         help="partition subscribers into N subgroups, one "
+                              "full engine replica each, merged "
+                              "deterministically (bit-identical to "
+                              "--shards 1; incompatible with "
+                              "--trace-events)")
+    runtime.add_argument("--shard-workers", type=int, default=None,
+                         metavar="W", help="worker processes for sharded "
+                         "runs (default: min(shards, cores))")
     runtime.add_argument("--trace-events", type=int, default=0,
                          help="record trace spans for the first N events")
     runtime.add_argument("--telemetry-json", default=None, metavar="PATH",
@@ -781,6 +800,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between churn checks")
     serve.add_argument("--reopt-algorithm", default="SLP1",
                        choices=algorithm_names())
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the broker's matcher into N subscription "
+                            "subgroups with cover-filter routing")
     serve.add_argument("--run-for", type=float, default=None,
                        help="shut down cleanly after N seconds "
                             "(default: run until interrupted)")

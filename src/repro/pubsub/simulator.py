@@ -56,7 +56,11 @@ def sample_event_stream(distribution: EventDistribution,
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
     if num_events == 0:
-        return np.empty((0, distribution.domain.dim))
+        # Delegate the empty draw to the distribution so the dtype (and
+        # the untouched generator state) match the chunked path exactly;
+        # a bare np.empty would pin float64 even for distributions that
+        # sample another dtype.
+        return distribution.sample(rng, 0)
     chunks = []
     remaining = num_events
     while remaining > 0:

@@ -225,6 +225,20 @@ class DisseminationEngine:
     subscriber_points:
         Optional subscriber network positions; adds the leaf-to-subscriber
         last hop to delivery latency, matching the batch simulator.
+    delivery_members:
+        Optional subscriber indices this engine accounts deliveries for
+        (a shard's subgroup).  The *control plane* — forwarding, queues,
+        loss draws, faults, failover — is subscriber-independent and runs
+        in full; only matched/delivery counters and latency groups are
+        restricted, so summing disjoint shards reproduces the full run.
+    defer_delivery_fold:
+        Skip the run-end canonical latency fold (and the
+        ``missed_deliveries`` counter); a sharded run's parent performs
+        the one global fold over :meth:`drain_delivery_groups` instead.
+    epoch_matcher:
+        Pre-built matcher for epoch mode, rows over ``delivery_members``
+        (or the full population).  Shard workers inject a cover-filtered
+        one; ``None`` builds :func:`best_matcher` lazily.
     """
 
     def __init__(self,
@@ -235,7 +249,10 @@ class DisseminationEngine:
                  *,
                  config: RuntimeConfig | None = None,
                  subscriber_points: np.ndarray | None = None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 delivery_members: np.ndarray | None = None,
+                 defer_delivery_fold: bool = False,
+                 epoch_matcher: Matcher | None = None):
         self.tree = tree
         self.config = config or RuntimeConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -274,6 +291,22 @@ class DisseminationEngine:
         self._failover: Callable[["DisseminationEngine", float, int], None] | None = None
 
         m = len(subscriptions)
+        if delivery_members is not None:
+            members = np.unique(np.asarray(delivery_members, dtype=int))
+            if len(members) and (members[0] < 0 or members[-1] >= m):
+                raise ValueError("delivery_members must be valid subscriber "
+                                 "indices")
+            self._delivery_members: np.ndarray | None = members
+            self._member_mask: np.ndarray | None = np.zeros(m, dtype=bool)
+            self._member_mask[members] = True
+            # Full index -> local matcher row (-1 outside the subgroup).
+            self._member_rows: np.ndarray | None = np.full(m, -1, dtype=int)
+            self._member_rows[members] = np.arange(len(members))
+        else:
+            self._delivery_members = None
+            self._member_mask = None
+            self._member_rows = None
+        self._defer_delivery_fold = bool(defer_delivery_fold)
         self._node_entries = np.zeros(tree.num_nodes, dtype=np.int64)
         self._deliveries = np.zeros(m, dtype=np.int64)
         self._matched = np.zeros(m, dtype=np.int64)
@@ -292,8 +325,11 @@ class DisseminationEngine:
         self._pending_controls: list[float] = []
         self._running = False
         self._published_through = 0
-        self._delivery_groups: list[tuple[int, int, np.ndarray]] = []
-        self._epoch_matcher: Matcher | None = None
+        self._delivery_groups: list[
+            tuple[int, int, np.ndarray, np.ndarray]] = []
+        self._epoch_matcher = epoch_matcher
+        self._run_interval = self.config.publish_interval
+        self._run_domain: Any = None
 
     # -- live state accessors ------------------------------------------------
 
@@ -424,22 +460,10 @@ class DisseminationEngine:
         for k in range(num_events):
             self._push(k * self.config.publish_interval, _PRIO_PUBLISH, k)
 
-        # Epoch mode services contiguous publish runs as one matrix step.
-        # It engages only where a matrix step is provably equivalent to
-        # scalar stepping: instantaneous service, no backpressure, no
-        # link-loss RNG draws, strictly increasing publish times (then no
-        # arrival can ever find a broker busy, so queue state is trivial
-        # between control barriers).  Any other config runs fully scalar.
         self._running = True
         self._published_through = 0
-        epoch = (self.config.epoch_batch > 0
-                 and self.config.service_time == 0.0
-                 and self.config.queue_capacity is None
-                 and self.config.link_loss == 0.0
-                 and self.config.publish_interval > 0.0)
-        if epoch and self._epoch_matcher is None:
-            self._epoch_matcher = best_matcher(self._subscriptions,
-                                               distribution.domain)
+        self._run_interval = self.config.publish_interval
+        self._run_domain = distribution.domain
 
         aborted = False
         max_duration = self.config.max_duration
@@ -461,7 +485,10 @@ class DisseminationEngine:
                 k = int(payload)
                 if k < self._published_through:
                     continue  # consumed by an earlier epoch block
-                if epoch and k >= self.config.trace_events:
+                if self._epoch_eligible() and k >= self.config.trace_events:
+                    if self._epoch_matcher is None:
+                        self._epoch_matcher = best_matcher(
+                            self._delivery_subscriptions(), self._run_domain)
                     self._publish_epoch(k)
                 else:
                     self._publish(k, time)
@@ -477,17 +504,22 @@ class DisseminationEngine:
         # Delivery latency accumulates in canonical (event, leaf) order —
         # the scalar heap order and the epoch block order both reduce to
         # this one sequence of float additions, which is what makes the
-        # two modes bit-identical (and histograms reproducible).
-        for _event, _leaf, latency in sorted(
-                self._delivery_groups, key=lambda g: (g[0], g[1])):
-            self._total_latency += float(latency.sum())
-            self.telemetry.histogram("delivery_latency").observe_many(latency)
-        self._delivery_groups.clear()
+        # two modes bit-identical (and histograms reproducible).  Sharded
+        # runs defer the fold: the parent merges every shard's groups
+        # into the one global canonical sequence instead.
+        if not self._defer_delivery_fold:
+            for _event, _leaf, _receivers, latency in sorted(
+                    self._delivery_groups, key=lambda g: (g[0], g[1])):
+                self._total_latency += float(latency.sum())
+                self.telemetry.histogram(
+                    "delivery_latency").observe_many(latency)
+            self._delivery_groups.clear()
 
         for span in self.telemetry.open_spans():
             span.close(self._now)
         missed = np.maximum(self._matched - self._deliveries, 0)
-        self.telemetry.counter("missed_deliveries").inc(int(missed.sum()))
+        if not self._defer_delivery_fold:
+            self.telemetry.counter("missed_deliveries").inc(int(missed.sum()))
         peaks = np.array([b.peak for b in self._brokers], dtype=np.int64)
         if peaks.size:
             self.telemetry.gauge("queue_depth_peak").set(int(peaks.max()))
@@ -506,6 +538,50 @@ class DisseminationEngine:
         heapq.heappush(self._heap, (time, prio, self._seq, payload))
         self._seq += 1
 
+    def _delivery_subscriptions(self) -> RectSet:
+        """The subscription rows this engine accounts deliveries for."""
+        if self._delivery_members is None:
+            return self._subscriptions
+        return self._subscriptions.take(self._delivery_members)
+
+    def _epoch_eligible(self) -> bool:
+        """Can the next publish run as a matrix step, per the *current* config?
+
+        Epoch mode engages only where a matrix step is provably
+        equivalent to scalar stepping: instantaneous service, no
+        backpressure, no link-loss RNG draws, strictly increasing publish
+        times (then no arrival can ever find a broker busy, so queue
+        state is trivial between control barriers).
+
+        Re-evaluated at every publish rather than latched at run start: a
+        control action may swap ``self.config`` mid-run (a fault handler
+        enabling service time, a replay driver adding backpressure), and
+        a stale gate would keep matrix-stepping under assumptions that no
+        longer hold.  A changed publish interval also disqualifies the
+        fast path — the publish heap was laid out with the run-start
+        interval, so matrix time vectors would disagree with the heap.
+        """
+        config = self.config
+        return (config.epoch_batch > 0
+                and config.service_time == 0.0
+                and config.queue_capacity is None
+                and config.link_loss == 0.0
+                and config.publish_interval > 0.0
+                and config.publish_interval == self._run_interval)
+
+    def drain_delivery_groups(
+            self) -> list[tuple[int, int, np.ndarray, np.ndarray]]:
+        """Canonically ordered ``(event, leaf, receivers, latencies)`` groups.
+
+        Only meaningful after a ``defer_delivery_fold`` run: the shard
+        parent concatenates every shard's groups per ``(event, leaf)``
+        key, re-sorts by receiver index, and performs the single global
+        latency fold the unsharded engine would have done.
+        """
+        groups = sorted(self._delivery_groups, key=lambda g: (g[0], g[1]))
+        self._delivery_groups.clear()
+        return groups
+
     # -- message lifecycle ---------------------------------------------------
 
     def _publish(self, k: int, time: float) -> None:
@@ -516,6 +592,8 @@ class DisseminationEngine:
         # Record which active subscribers *should* receive this event;
         # deliveries are debited against this at the end of the run.
         active = self._assignment >= 0
+        if self._member_mask is not None:
+            active = active & self._member_mask
         if active.any():
             matches = self._subscriptions.contains_points(
                 point[None, :])[:, 0] & active
@@ -571,10 +649,19 @@ class DisseminationEngine:
         self._node_entries[PUBLISHER] += n
         self.telemetry.counter("events_published").inc(n)
 
-        match = self._epoch_matcher.match_points(pts)  # (m, n) bool
+        # Matcher rows are local to the delivery subgroup (the full
+        # population when unsharded); `_member_rows` maps full indices
+        # to rows so leaf member lookups stay over the global assignment.
+        match = self._epoch_matcher.match_points(pts)  # (rows, n) bool
         active = self._assignment >= 0
-        if active.any():
-            self._matched += (match & active[:, None]).sum(axis=1)
+        if self._delivery_members is None:
+            if active.any():
+                self._matched += (match & active[:, None]).sum(axis=1)
+        else:
+            act = active[self._delivery_members]
+            if act.any():
+                self._matched[self._delivery_members] += (
+                    match & act[:, None]).sum(axis=1)
 
         # Level-wise entry masks: an event arrives at a node iff it
         # entered the (alive) parent and the node's filter contains it;
@@ -611,9 +698,13 @@ class DisseminationEngine:
             if not col.any():
                 continue
             members = np.flatnonzero(self._assignment == leaf)
+            if self._member_mask is not None:
+                members = members[self._member_mask[members]]
             if len(members) == 0:
                 continue
-            delivered = match[members] & col[None, :]
+            rows = (members if self._member_rows is None
+                    else self._member_rows[members])
+            delivered = match[rows] & col[None, :]
             counts = delivered.sum(axis=1)
             self._deliveries[members] += counts
             if not counts.any():
@@ -633,7 +724,8 @@ class DisseminationEngine:
                                   float(arrive[leaf, i]) - float(t_vec[i]))
                 if hop is not None:
                     latency = latency + hop[mask]
-                self._delivery_groups.append((k + i, leaf, latency))
+                self._delivery_groups.append(
+                    (k + i, leaf, members[mask], latency))
         if delivered_total:
             self.telemetry.counter("deliveries").inc(delivered_total)
 
@@ -701,6 +793,8 @@ class DisseminationEngine:
 
     def _deliver(self, leaf: int, k: int, time: float) -> None:
         members = np.flatnonzero(self._assignment == leaf)
+        if self._member_mask is not None:
+            members = members[self._member_mask[members]]
         if len(members) == 0:
             return
         point = self._events[k]
@@ -717,7 +811,7 @@ class DisseminationEngine:
                 self.tree.positions[leaf] - self._subscriber_points[receivers],
                 axis=1)
         # Accumulated at run end in canonical (event, leaf) order; see run().
-        self._delivery_groups.append((k, leaf, latency))
+        self._delivery_groups.append((k, leaf, receivers, latency))
         self.telemetry.counter("deliveries").inc(len(receivers))
         if k < self.config.trace_events:
             span = self._traces[k]

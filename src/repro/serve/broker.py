@@ -34,6 +34,7 @@ from ..dynamic.manager import DynamicPubSub
 from ..network.tree import PUBLISHER, BrokerTree
 from ..pubsub.filters import Filter
 from ..pubsub.matching import best_matcher
+from ..shard import ShardedMatcher, ShardPlan, plan_shards, replan_shards
 
 __all__ = ["DeliveryQueue", "RoutingTable", "LiveBroker"]
 
@@ -172,12 +173,27 @@ class LiveBroker:
     """
 
     def __init__(self, problem: SAProblem, *, queue_capacity: int = 1024,
-                 seed: int = 0):
+                 seed: int = 0, shards: int = 1):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         self._problem = problem
         self._manager = DynamicPubSub(problem, seed=seed)
         # The population is fixed (subscribers churn by activation, not
         # by changing boxes), so the index can be chosen once up front.
-        self._matcher = best_matcher(problem.subscriptions)
+        # With --shards N the index is decomposed into cover-guarded
+        # subgroup matchers (exact; see repro.shard.matcher) that the
+        # batch route path probes shard-by-shard.
+        self._shard_plan: ShardPlan | None = None
+        self.shard_migrations = 0
+        if shards > 1:
+            # Group by feasibility signature: the assignment evolves
+            # under churn, the latency-feasible leaf sets do not.
+            self._shard_plan = plan_shards(problem.subscriptions, shards,
+                                           feasible=problem.feasible_leaf)
+            self._matcher: Any = ShardedMatcher(problem.subscriptions,
+                                                self._shard_plan)
+        else:
+            self._matcher = best_matcher(problem.subscriptions)
         self._queue_capacity = queue_capacity
         self._queues: dict[int, DeliveryQueue] = {}
 
@@ -375,6 +391,18 @@ class LiveBroker:
         if info.get("committed", True):
             self.churn_since_reopt = 0
             self._swap_routing()
+            if self._shard_plan is not None:
+                # Re-shard along the committed assignment, migrating as
+                # few subscribers as the max-flow rebalance allows, and
+                # rebuild the subgroup indexes around the new plan.
+                self._shard_plan, moved = replan_shards(
+                    self._problem.subscriptions, self._shard_plan,
+                    assignment=self._manager.assignment)
+                self.shard_migrations += moved
+                self._matcher = ShardedMatcher(self._problem.subscriptions,
+                                               self._shard_plan)
+                info = dict(info)
+                info["shard_migrations"] = moved
         return info
 
     # -- stats ---------------------------------------------------------------
@@ -402,4 +430,7 @@ class LiveBroker:
             "churn_since_reopt": self.churn_since_reopt,
             "routing_version": self._routing.version,
             "queue_depth_peak": max((q.peak for q in queues), default=0),
+            "shards": (self._shard_plan.num_shards
+                       if self._shard_plan is not None else 1),
+            "shard_migrations": self.shard_migrations,
         }

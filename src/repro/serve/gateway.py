@@ -52,22 +52,29 @@ class ServeConfig:
     reopt_threshold: int = 64        #: churn events triggering re-optimization
     reopt_poll_interval: float = 0.25
     reopt_algorithm: str = "SLP1"
+    shards: int = 1                  #: subscription subgroups for routing
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
 
 class _Connection:
     """Per-connection state: owned subscribers and their pump tasks."""
 
-    __slots__ = ("writer", "write_lock", "subscribers", "pumps")
+    __slots__ = ("writer", "write_lock", "subscribers", "pumps", "conn_id")
 
-    def __init__(self, writer: asyncio.StreamWriter):
+    def __init__(self, writer: asyncio.StreamWriter, conn_id: int):
         self.writer = writer
         self.write_lock = asyncio.Lock()
         self.subscribers: set[int] = set()
         self.pumps: dict[int, asyncio.Task] = {}
+        #: Namespaces this connection's idempotency keys: two clients
+        #: reusing the same key string must never see each other's
+        #: cached responses.
+        self.conn_id = conn_id
 
 
 class ServeDaemon:
@@ -78,7 +85,8 @@ class ServeDaemon:
         self.config = config or ServeConfig()
         self.broker = LiveBroker(problem,
                                  queue_capacity=self.config.queue_capacity,
-                                 seed=self.config.seed)
+                                 seed=self.config.seed,
+                                 shards=self.config.shards)
         #: Serializes churn (subscribe/unsubscribe) against the
         #: thread-offloaded re-optimization.
         self.churn_lock = asyncio.Lock()
@@ -91,7 +99,13 @@ class ServeDaemon:
             churn_lock=self.churn_lock)
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
-        self._idempotency: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: Keyed by ``(conn_id, key)``: idempotency replay is scoped to
+        #: the connection that issued the key, so one client's key can
+        #: never replay another client's cached response (and a
+        #: reconnect starts a fresh namespace).
+        self._idempotency: OrderedDict[tuple[int, str],
+                                       dict[str, Any]] = OrderedDict()
+        self._next_conn_id = 0
         self.requests = 0
         self.request_errors = 0
 
@@ -137,7 +151,8 @@ class ServeDaemon:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        conn = _Connection(writer)
+        conn = _Connection(writer, self._next_conn_id)
+        self._next_conn_id += 1
         self._connections.add(conn)
         try:
             while True:
@@ -201,7 +216,7 @@ class ServeDaemon:
                 return protocol.error_reply(
                     request, protocol.ERR_INVALID,
                     "idempotency key must be a string")
-            cached = self._idempotency.get(key)
+            cached = self._idempotency.get((conn.conn_id, key))
             if cached is not None:
                 response = dict(cached)
                 response["idempotent_replay"] = True
@@ -220,7 +235,7 @@ class ServeDaemon:
 
         if key is not None and op in protocol.MUTATING_OPS \
                 and response.get("ok"):
-            self._idempotency[key] = response
+            self._idempotency[(conn.conn_id, key)] = response
             while len(self._idempotency) > _IDEMPOTENCY_CACHE_SIZE:
                 self._idempotency.popitem(last=False)
         return response

@@ -1,0 +1,156 @@
+"""Re-shard under churn with minimal migration, via max-flow.
+
+The rebalance contract: given the current plan and a changed population
+signature (subscribers arrived/left, or a re-optimization moved them to
+different leaves), produce a new balanced plan that **moves as few
+subscribers as possible**.  The mechanism is the same two-phase trick
+the paper's assignment step uses with its escalating load bound — Dinic
+keeps the residual network between calls, so flow routed in an earlier
+phase is never torn up:
+
+1. *Stay-home phase*: the flow network has one edge per subgroup to its
+   **home shard** (the shard owning the majority of the subgroup's
+   members under the old plan) and per-shard sink capacities of
+   ``ceil(total / num_shards)``.  Max-flow routes every subgroup that
+   still fits where it already lives.
+2. *Overflow phase*: cross edges from every subgroup to every other
+   shard are added and the flow is resumed — only the overflow that
+   phase 1 could not place migrates.
+
+Flow may split a subgroup fractionally; the integral assignment takes
+each subgroup's argmax-flow shard (ties: home first, then lowest shard
+id), so the capacity bound is respected up to one subgroup's weight —
+the same slack the paper's rounding step accepts.  Deterministic
+throughout: edge insertion order is canonical and ties break by index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..flow.dinic import Dinic
+from ..geometry import RectSet
+from .plan import MAX_COVER_RECTS, ShardPlan, _build_cover, plan_shards
+
+__all__ = ["rebalance_groups", "replan_shards"]
+
+
+def rebalance_groups(weights: np.ndarray,
+                     home: np.ndarray,
+                     num_shards: int,
+                     *,
+                     capacity: int | None = None) -> np.ndarray:
+    """Assign weighted groups to shards, keeping each at home when possible.
+
+    Returns the shard index per group.  ``capacity`` defaults to the
+    tightest uniform bound ``ceil(total_weight / num_shards)``.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    home = np.asarray(home, dtype=int)
+    if weights.shape != home.shape:
+        raise ValueError("weights and home must align")
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    num_groups = len(weights)
+    if num_groups == 0:
+        return np.empty(0, dtype=int)
+    if num_shards == 1:
+        return np.zeros(num_groups, dtype=int)
+    if (home < 0).any() or (home >= num_shards).any():
+        raise ValueError("home shard indices out of range")
+    total = int(weights.sum())
+    if capacity is None:
+        capacity = -(-total // num_shards)
+
+    source = 0
+    group_node = 1
+    shard_node = 1 + num_groups
+    sink = 1 + num_groups + num_shards
+    dinic = Dinic(sink + 1)
+    for i in range(num_groups):
+        dinic.add_edge(source, group_node + i, int(weights[i]))
+    edge_ids = np.full((num_groups, num_shards), -1, dtype=int)
+    for i in range(num_groups):
+        edge_ids[i, home[i]] = dinic.add_edge(
+            group_node + i, shard_node + int(home[i]), int(weights[i]))
+    for s in range(num_shards):
+        dinic.add_edge(shard_node + s, sink, int(capacity))
+
+    dinic.max_flow(source, sink)          # phase 1: keep groups at home
+    for i in range(num_groups):
+        for s in range(num_shards):
+            if s != home[i]:
+                edge_ids[i, s] = dinic.add_edge(
+                    group_node + i, shard_node + s, int(weights[i]))
+    dinic.max_flow(source, sink)          # phase 2: only overflow migrates
+
+    assigned = np.empty(num_groups, dtype=int)
+    for i in range(num_groups):
+        flows = np.array([dinic.edge_flow(int(edge_ids[i, s]))
+                          for s in range(num_shards)], dtype=np.int64)
+        best = int(flows.max())
+        # Ties: prefer home, then the lowest shard id — deterministic.
+        if flows[home[i]] == best:
+            assigned[i] = home[i]
+        else:
+            assigned[i] = int(np.argmax(flows))
+    return assigned
+
+
+def replan_shards(subscriptions: RectSet,
+                  plan: ShardPlan,
+                  *,
+                  assignment: np.ndarray | None = None,
+                  feasible: np.ndarray | None = None,
+                  num_shards: int | None = None,
+                  max_group_size: int | None = None,
+                  max_cover_rects: int = MAX_COVER_RECTS,
+                  ) -> tuple[ShardPlan, int]:
+    """Re-shard after churn, minimizing subscriber migration.
+
+    Regroups the population under the new dissemination signature (see
+    :func:`~repro.shard.plan.plan_shards`), anchors each new subgroup to
+    the shard owning the majority of its members under the old ``plan``,
+    and lets :func:`rebalance_groups` move only the overflow.  Returns
+    the new plan and the number of subscribers whose shard changed.
+    """
+    if num_shards is None:
+        num_shards = plan.num_shards
+    fresh = plan_shards(subscriptions, num_shards, assignment=assignment,
+                        feasible=feasible, max_group_size=max_group_size,
+                        max_cover_rects=max_cover_rects)
+    old_owner = plan.shard_of()
+    effective = fresh.num_shards
+
+    homes = np.zeros(len(fresh.groups), dtype=int)
+    for i, group in enumerate(fresh.groups):
+        owners = old_owner[group]
+        owners = owners[owners >= 0]
+        owners = owners[owners < effective]
+        if len(owners) == 0:
+            homes[i] = 0
+            continue
+        counts = np.bincount(owners, minlength=effective)
+        homes[i] = int(np.argmax(counts))  # argmax ties to the lowest id
+
+    weights = np.array([len(g) for g in fresh.groups], dtype=np.int64)
+    group_shard = rebalance_groups(weights, homes, effective)
+
+    members = []
+    covers = []
+    for shard in range(effective):
+        shard_groups = [fresh.groups[i]
+                        for i in np.flatnonzero(group_shard == shard)]
+        owned = (np.sort(np.concatenate(shard_groups))
+                 if shard_groups else np.empty(0, dtype=int))
+        members.append(owned)
+        covers.append(_build_cover(subscriptions, shard_groups,
+                                   max_cover_rects))
+    new_plan = ShardPlan(num_subscribers=fresh.num_subscribers,
+                         num_shards=effective, members=tuple(members),
+                         groups=fresh.groups, group_shard=group_shard,
+                         covers=tuple(covers))
+    new_owner = new_plan.shard_of()
+    moved = int(np.sum((old_owner >= 0) & (new_owner >= 0)
+                       & (old_owner != new_owner)))
+    return new_plan, moved

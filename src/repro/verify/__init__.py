@@ -33,6 +33,7 @@ from .oracles import (
     epoch_runtime_oracle,
     matcher_oracle,
     runtime_oracle,
+    shard_oracle,
     simulator_batch_oracle,
     solution_oracles,
     volume_oracle,
@@ -62,6 +63,7 @@ __all__ = [
     "runtime_oracle",
     "simulator_batch_oracle",
     "epoch_runtime_oracle",
+    "shard_oracle",
     "solution_oracles",
     "EVENT_DOMAIN",
     "STRATEGY_NAMES",

@@ -215,3 +215,23 @@ class TestEmptyInputGuards:
             sample_event_stream(dist, rng, -1)
         with pytest.raises(ValueError):
             sample_event_stream(dist, rng, 10, chunk_size=0)
+
+    def test_sample_event_stream_empty_consistent(self):
+        # The num_events == 0 path must go through distribution.sample
+        # like every other path: same dtype as a non-empty draw, and no
+        # generator-state drift relative to an explicit zero-size draw.
+        dist = UniformEvents(Rect([0, 0], [100, 100]))
+        empty = sample_event_stream(dist, np.random.default_rng(3), 0)
+        direct = dist.sample(np.random.default_rng(3), 0)
+        assert empty.shape == direct.shape == (0, 2)
+        assert empty.dtype == direct.dtype
+        nonempty = dist.sample(np.random.default_rng(3), 4)
+        assert empty.dtype == nonempty.dtype
+
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        sample_event_stream(dist, rng_a, 0)
+        dist.sample(rng_b, 0)
+        # Both generators advanced identically (zero-size draws included).
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+        assert np.array_equal(rng_a.uniform(size=8), rng_b.uniform(size=8))

@@ -159,3 +159,65 @@ class TestEpochConfig:
                            num_events=200)
         assert scalar.num_events == epoch.num_events == 200
         assert scalar.events_per_time() == epoch.events_per_time()
+
+
+class TestGateReevaluation:
+    """The epoch gate must track ``engine.config``, not latch at run start.
+
+    A mid-run control that swaps the config to something epoch mode
+    cannot model (non-zero service time introduces queueing) is the
+    planted divergence: a latched gate would keep matrix-stepping under
+    the stale assumptions and the epoch run's payload would drift from
+    the scalar run's.
+    """
+
+    @staticmethod
+    def _run_with_midrun_service_time(problem, solution, *, epoch_batch):
+        import dataclasses
+
+        engine = DisseminationEngine(
+            problem.tree, solution.filters, solution.assignment,
+            problem.subscriptions,
+            config=RuntimeConfig(epoch_batch=epoch_batch),
+            subscriber_points=problem.subscriber_points)
+
+        def enable_service_time(eng, _time):
+            eng.config = dataclasses.replace(eng.config, service_time=0.25)
+
+        engine.schedule(NUM_EVENTS * 0.4, enable_service_time)
+        return engine.run(DIST, np.random.default_rng(SEED), NUM_EVENTS)
+
+    def test_midrun_config_swap_disables_batching(self, tiny_problem):
+        solution = offline_greedy(tiny_problem)
+        scalar = self._run_with_midrun_service_time(
+            tiny_problem, solution, epoch_batch=0)
+        epoch = self._run_with_midrun_service_time(
+            tiny_problem, solution, epoch_batch=128)
+        assert sha(scalar) == sha(epoch)
+        # The swap actually bit: with queueing enabled the run takes
+        # longer than the pure publish schedule.
+        assert scalar.duration > NUM_EVENTS - 1
+
+    def test_midrun_interval_change_disables_batching(self, tiny_problem):
+        # A changed publish interval invalidates the time vectors the
+        # matrix step derives from the run-start interval; the gate must
+        # notice even though every *batchable* config knob stays benign.
+        import dataclasses
+
+        solution = offline_greedy(tiny_problem)
+
+        def run(epoch_batch):
+            engine = DisseminationEngine(
+                tiny_problem.tree, solution.filters,
+                solution.assignment, tiny_problem.subscriptions,
+                config=RuntimeConfig(epoch_batch=epoch_batch),
+                subscriber_points=tiny_problem.subscriber_points)
+
+            def stretch_interval(eng, _time):
+                eng.config = dataclasses.replace(eng.config,
+                                                 publish_interval=2.0)
+
+            engine.schedule(NUM_EVENTS * 0.5, stretch_interval)
+            return engine.run(DIST, np.random.default_rng(SEED), NUM_EVENTS)
+
+        assert sha(run(0)) == sha(run(128))

@@ -161,6 +161,32 @@ class TestIdempotency:
 
         asyncio.run(with_daemon(problem, body))
 
+    def test_keys_are_scoped_per_connection(self, problem):
+        # Two clients reusing the same key string must not collide: the
+        # cache is namespaced by connection, so the second client's
+        # subscribe is a fresh operation, not a replay of the first's.
+        async def body(daemon):
+            async with await ServeClient.connect(
+                    "127.0.0.1", daemon.port) as alice, \
+                    await ServeClient.connect(
+                        "127.0.0.1", daemon.port) as bob:
+                first = await alice.request("subscribe", subscriber=7,
+                                            key="shared-key")
+                assert "idempotent_replay" not in first
+                second = await bob.request("subscribe", subscriber=8,
+                                           key="shared-key")
+                assert "idempotent_replay" not in second
+                assert second["subscriber"] == 8
+                stats = await alice.stats()
+                assert stats["active_subscribers"] == 2
+                assert stats["subscribes"] == 2
+                # Each connection still replays its own key.
+                replay = await bob.request("subscribe", subscriber=8,
+                                           key="shared-key")
+                assert replay["idempotent_replay"] is True
+
+        asyncio.run(with_daemon(problem, body))
+
     def test_non_string_key_rejected(self, problem):
         async def body(daemon):
             async with await ServeClient.connect(

@@ -1,0 +1,187 @@
+"""Sharded dissemination property suite: bit-identity in every regime.
+
+The contract under test is absolute: for any shard count, any seed, and
+any fault schedule the runner supports, the merged multi-shard payload
+must hash sha256-equal to the single-process engine's — same counts,
+same float latency totals, same telemetry histogram buckets.  Worker
+count is exercised too (a real process pool must change nothing but
+wall clock).
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    BrokerOutage,
+    BruteForceMatcher,
+    FaultPlan,
+    GoogleGroupsConfig,
+    ReplayConfig,
+    RuntimeConfig,
+    UniformEvents,
+    generate_google_groups,
+    offline_greedy,
+    one_level_problem,
+    run_dissemination,
+    simulate_sharded,
+)
+from repro.dynamic.churn import generate_churn_trace
+from repro.geometry import Rect
+from repro.shard import ShardedMatcher, SubgroupMatcher, plan_shards
+
+DIST = UniformEvents(Rect([0, 0], [100, 100]))
+NUM_EVENTS = 300
+SHARD_COUNTS = (1, 2, 3, 8)
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def shard_problem():
+    config = GoogleGroupsConfig(num_subscribers=150, num_brokers=6,
+                                interest_skew="H", broad_interests="L")
+    return one_level_problem(generate_google_groups(seed=5, config=config))
+
+
+@pytest.fixture(scope="module")
+def shard_solution(shard_problem):
+    return offline_greedy(shard_problem)
+
+
+def sha(result) -> str:
+    return hashlib.sha256(json.dumps(result.to_dict(),
+                                     sort_keys=True).encode()).hexdigest()
+
+
+def run(problem, solution, *, seed, shards, workers=1, **kwargs):
+    return run_dissemination(
+        problem, DIST, np.random.default_rng(seed), NUM_EVENTS,
+        shards=shards, workers=workers,
+        filters=None if kwargs.get("trace") is not None
+        else solution.filters,
+        assignment=None if kwargs.get("trace") is not None
+        else solution.assignment,
+        **kwargs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_free_epoch(self, shard_problem, shard_solution, seed):
+        config = RuntimeConfig(epoch_batch=64)
+        hashes = {s: sha(run(shard_problem, shard_solution, seed=seed,
+                             shards=s, config=config).result)
+                  for s in SHARD_COUNTS}
+        assert len(set(hashes.values())) == 1, hashes
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_crash_recover(self, shard_problem, shard_solution, seed):
+        loads = shard_problem.loads(shard_solution.assignment)
+        victim = int(shard_problem.tree.leaves[int(loads.argmax())])
+        plan = FaultPlan(outages=(BrokerOutage(victim, NUM_EVENTS * 0.25,
+                                               NUM_EVENTS * 0.75),))
+        config = RuntimeConfig(epoch_batch=64)
+        hashes = {}
+        migrations = {}
+        for s in SHARD_COUNTS:
+            result = run(shard_problem, shard_solution, seed=seed, shards=s,
+                         config=config, fault_plan=plan).result
+            hashes[s] = sha(result)
+            migrations[s] = \
+                result.telemetry.counter("failover_migrations").value
+        assert len(set(hashes.values())) == 1, hashes
+        # The schedule actually bit, in every sharding.
+        assert all(m > 0 for m in migrations.values())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_churn_replay(self, shard_problem, seed):
+        trace = generate_churn_trace(
+            shard_problem.num_subscribers, 12, np.random.default_rng(seed),
+            initial_active_fraction=0.5, arrival_rate=4.0,
+            departure_rate=4.0)
+        hashes = {s: sha(run(shard_problem, None, seed=seed, shards=s,
+                             trace=trace,
+                             replay_config=ReplayConfig(reopt_every=5))
+                         .result)
+                  for s in SHARD_COUNTS}
+        assert len(set(hashes.values())) == 1, hashes
+
+    def test_process_pool_matches_serial(self, shard_problem,
+                                         shard_solution):
+        # Same shard count, real worker processes: only wall clock may
+        # differ.
+        config = RuntimeConfig(epoch_batch=64)
+        serial = run(shard_problem, shard_solution, seed=0, shards=2,
+                     workers=1, config=config)
+        pooled = run(shard_problem, shard_solution, seed=0, shards=2,
+                     workers=2, config=config)
+        assert sha(serial.result) == sha(pooled.result)
+        assert pooled.workers == 2
+        assert len(pooled.shard_seconds) == 2
+
+
+class TestSimulateSharded:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_batch_simulation_identical(self, shard_problem,
+                                        shard_solution, shards):
+        single, _plan = simulate_sharded(
+            shard_problem, shard_solution.filters,
+            shard_solution.assignment, DIST, np.random.default_rng(3),
+            400, shards=1)
+        sharded, plan = simulate_sharded(
+            shard_problem, shard_solution.filters,
+            shard_solution.assignment, DIST, np.random.default_rng(3),
+            400, shards=shards, workers=1)
+        assert sha(single) == sha(sharded)
+        if shards > 1:
+            assert plan is not None
+            assert plan.num_shards <= shards
+
+
+class TestShardedMatcher:
+    def test_matches_brute_force(self, shard_problem):
+        subs = shard_problem.subscriptions
+        plan = plan_shards(subs, 4, feasible=shard_problem.feasible_leaf)
+        sharded = ShardedMatcher(subs, plan)
+        brute = BruteForceMatcher(subs)
+        events = np.random.default_rng(11).uniform(-5, 105, size=(300, 2))
+        assert np.array_equal(sharded.match_points(events),
+                              brute.match_points(events))
+        for point in events[:50]:
+            assert np.array_equal(sharded.match_point(point),
+                                  brute.match_point(point))
+
+    def test_subgroup_matcher_scatters_rows(self, shard_problem):
+        subs = shard_problem.subscriptions
+        members = np.arange(0, len(subs), 3)
+        matcher = SubgroupMatcher(subs, members)
+        brute = BruteForceMatcher(subs)
+        events = np.random.default_rng(4).uniform(0, 100, size=(100, 2))
+        full = brute.match_points(events)
+        restricted = np.zeros_like(full)
+        restricted[members] = full[members]
+        assert np.array_equal(matcher.match_points(events), restricted)
+
+
+class TestGuards:
+    def test_trace_events_rejected(self, shard_problem, shard_solution):
+        with pytest.raises(ValueError, match="trace_events"):
+            run(shard_problem, shard_solution, seed=0, shards=2,
+                config=RuntimeConfig(trace_events=5))
+
+    def test_external_telemetry_rejected(self, shard_problem,
+                                         shard_solution):
+        from repro import Telemetry
+        with pytest.raises(ValueError, match="telemetry"):
+            run(shard_problem, shard_solution, seed=0, shards=2,
+                telemetry=Telemetry())
+
+    def test_bad_shard_count(self, shard_problem, shard_solution):
+        with pytest.raises(ValueError):
+            run(shard_problem, shard_solution, seed=0, shards=0)
+
+    def test_missing_solution(self, shard_problem):
+        with pytest.raises(ValueError):
+            run_dissemination(shard_problem, DIST,
+                              np.random.default_rng(0), 10)
